@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+a measured-vs-paper comparison.  ``pytest benchmarks/ --benchmark-only``
+runs them all; the printed blocks are collected at the end of the session
+so they survive pytest's output capturing, and also written to
+``results/`` as one text file per table/figure.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+_REPORTS = []
+_RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record_report(title, text):
+    """Stash a rendered table for the end-of-session summary."""
+    _REPORTS.append((title, text))
+
+
+@pytest.fixture
+def report():
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction output")
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+        (_RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(written to {_RESULTS_DIR}/)")

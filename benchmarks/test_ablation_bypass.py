@@ -1,0 +1,67 @@
+"""Ablation E — level bypass (paper §3.1's future-work extension).
+
+Quantifies the gap between HW SVt and "full hardware support for nested
+virtualization": with direct L2->L1 trap delivery for emulation-only
+exits, a nested cpuid should approach a *single-level* trap's cost.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.bypass import install_bypass
+from repro.core.mode import ExecutionMode
+from repro.core.system import Machine
+from repro.cpu import isa
+
+
+def _cpuid_us(machine, iterations=20):
+    machine.run_program(isa.Program([isa.cpuid()]))
+    result = machine.run_program(isa.Program([isa.cpuid()],
+                                             repeat=iterations))
+    return result.ns_per_instruction / 1000.0
+
+
+def test_ablation_level_bypass(benchmark, report):
+    def run_all():
+        times = {}
+        times["baseline"] = _cpuid_us(Machine(ExecutionMode.BASELINE))
+        times["hw_svt"] = _cpuid_us(Machine(ExecutionMode.HW_SVT))
+        bypass_machine = Machine(ExecutionMode.HW_SVT)
+        engine = install_bypass(bypass_machine)
+        times["hw_svt_bypass"] = _cpuid_us(bypass_machine)
+        times["_bypassed"] = engine.bypassed_exits
+        single = Machine(ExecutionMode.BASELINE)
+        single.run_program(isa.Program([isa.cpuid()]), level=1)
+        result = single.run_program(isa.Program([isa.cpuid()], repeat=20),
+                                    level=1)
+        times["single_level"] = result.ns_per_instruction / 1000.0
+        return times
+
+    times = benchmark(run_all)
+    base = times["baseline"]
+
+    report("Ablation E: level bypass", format_table(
+        ["Configuration", "cpuid (us)", "Speedup vs baseline"],
+        [
+            ("baseline nested", f"{base:.2f}", "1.00x"),
+            ("HW SVt", f"{times['hw_svt']:.2f}",
+             f"{base / times['hw_svt']:.2f}x"),
+            ("HW SVt + L0 bypass (Sec. 3.1)",
+             f"{times['hw_svt_bypass']:.2f}",
+             f"{base / times['hw_svt_bypass']:.2f}x"),
+            ("single-level trap (the floor)",
+             f"{times['single_level']:.2f}",
+             f"{base / times['single_level']:.2f}x"),
+        ],
+        title="How close bypass gets to full hardware nested support",
+    ))
+
+    assert times["_bypassed"] >= 20
+    # Bypass removes the transforms and L0 handler entirely: expected
+    # cost ~= guest work + 2 stall/resume + L1's pure handler.
+    expected_us = (50 + 2 * 20 + 1120) / 1000.0
+    assert times["hw_svt_bypass"] == pytest.approx(expected_us, rel=0.05)
+    # Ordering: baseline > HW SVt > bypass; bypass lands below even the
+    # single-level software path (no memory switches at all).
+    assert base > times["hw_svt"] > times["hw_svt_bypass"]
+    assert times["hw_svt_bypass"] < times["single_level"]

@@ -1,0 +1,53 @@
+"""Ablation G — dynamic SVt/SMT choice per core (paper §3.3).
+
+Finds the nested-trap rate where SVt overtakes SMT on a core and shows a
+dynamic per-core policy dominating both static fleets.
+"""
+
+
+from repro.analysis.report import format_table
+from repro.core.coexist import (
+    CoexistConfig,
+    DynamicPolicy,
+    crossover_trap_rate,
+    useful_throughput,
+)
+
+
+def test_ablation_coexistence(benchmark, report):
+    config = CoexistConfig()
+
+    def analyse():
+        rates = [0, 10_000, 25_000, 50_000, 75_000]
+        grid = [
+            (rate,
+             useful_throughput(config, "smt", rate),
+             useful_throughput(config, "svt", rate))
+            for rate in rates
+        ]
+        fleet = DynamicPolicy(config).fleet_throughput(
+            [0, 1_000, 5_000, 20_000, 40_000, 60_000, 90_000, 120_000]
+        )
+        return grid, crossover_trap_rate(config), fleet
+
+    grid, crossover, fleet = benchmark(analyse)
+
+    rendered = format_table(
+        ["nested traps/s", "SMT throughput", "SVt throughput", "winner"],
+        [
+            (f"{rate}", f"{smt:.3f}", f"{svt:.3f}",
+             "SVt" if svt > smt else "SMT")
+            for rate, smt, svt in grid
+        ],
+        title="Per-core useful throughput (relative to one bare thread)",
+    )
+    rendered += (
+        f"\ncrossover: {crossover:,.0f} traps/s"
+        f"\n8-core fleet: dynamic {fleet['dynamic']:.2f} vs "
+        f"all-SMT {fleet['all_smt']:.2f} vs all-SVt {fleet['all_svt']:.2f}"
+    )
+    report("Ablation G: SVt/SMT coexistence", rendered)
+
+    assert 10_000 < crossover < 100_000
+    assert fleet["dynamic"] > fleet["all_smt"]
+    assert fleet["dynamic"] > fleet["all_svt"]

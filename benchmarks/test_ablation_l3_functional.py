@@ -1,0 +1,76 @@
+"""Ablation J — functional L3 vs the analytic deep-nesting model.
+
+`repro.virt.l3` runs a third level through the live machinery (L2's
+privileged operations recurse as full depth-2 exits); `repro.virt.deep`
+predicts the same costs in closed form.  This bench runs both and
+confronts them — and shows the headline depth effect: SVt's advantage
+*grows* with nesting depth on aux-heavy traps.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.mode import ExecutionMode
+from repro.core.system import Machine
+from repro.cpu import isa
+from repro.virt.hypervisor import MSR_TSC_DEADLINE
+from repro.virt.l3 import install_third_level
+
+
+def _l3_trap_us(mode, instruction, repeat=4):
+    stack = install_third_level(Machine(mode=mode))
+    elapsed, _ = stack.run_program(isa.Program([instruction],
+                                               repeat=repeat))
+    return elapsed / repeat / 1000.0
+
+
+def _l2_trap_us(mode, instruction, repeat=4):
+    machine = Machine(mode=mode)
+    machine.run_program(isa.Program([instruction]))
+    result = machine.run_program(isa.Program([instruction],
+                                             repeat=repeat))
+    return result.elapsed_ns / repeat / 1000.0
+
+
+def test_ablation_l3_functional(benchmark, report):
+    def run_grid():
+        grid = {}
+        for mode in ExecutionMode.ALL:
+            grid[(mode, "cpuid", 2)] = _l2_trap_us(mode, isa.cpuid())
+            grid[(mode, "cpuid", 3)] = _l3_trap_us(mode, isa.cpuid())
+            grid[(mode, "timer", 2)] = _l2_trap_us(
+                mode, isa.wrmsr(MSR_TSC_DEADLINE, 10**9))
+            grid[(mode, "timer", 3)] = _l3_trap_us(
+                mode, isa.wrmsr(MSR_TSC_DEADLINE, 10**9))
+        return grid
+
+    grid = benchmark(run_grid)
+
+    rows = []
+    for trap in ("cpuid", "timer"):
+        for depth in (2, 3):
+            base = grid[(ExecutionMode.BASELINE, trap, depth)]
+            rows.append((
+                f"{trap} from L{depth}",
+                f"{base:.2f}",
+                f"{base / grid[(ExecutionMode.SW_SVT, trap, depth)]:.2f}x",
+                f"{base / grid[(ExecutionMode.HW_SVT, trap, depth)]:.2f}x",
+            ))
+    report("Ablation J: functional L3", format_table(
+        ["Trap", "baseline (us)", "SW SVt", "HW SVt"],
+        rows,
+        title="Depth-2 vs depth-3 traps through the live machinery",
+    ))
+
+    # Aux-free traps cost the same at both depths (one reflection)...
+    assert grid[(ExecutionMode.BASELINE, "cpuid", 3)] == pytest.approx(
+        grid[(ExecutionMode.BASELINE, "cpuid", 2)], rel=0.02)
+    # ...aux-heavy ones blow up with depth (the Turtles effect).
+    assert grid[(ExecutionMode.BASELINE, "timer", 3)] > \
+        2.0 * grid[(ExecutionMode.BASELINE, "timer", 2)]
+    # SVt's advantage grows with depth on aux-heavy traps.
+    hw2 = (grid[(ExecutionMode.BASELINE, "timer", 2)]
+           / grid[(ExecutionMode.HW_SVT, "timer", 2)])
+    hw3 = (grid[(ExecutionMode.BASELINE, "timer", 3)]
+           / grid[(ExecutionMode.HW_SVT, "timer", 3)])
+    assert hw3 > hw2

@@ -1,0 +1,39 @@
+"""Figure 10 — dropped frames during 4K playback."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.mode import ExecutionMode
+from repro.workloads import video
+
+
+def test_fig10_dropped_frames(benchmark, report):
+    grid = benchmark(video.figure10, seed=7)
+
+    rows = []
+    for fps in (24, 60, 120):
+        base = grid[fps][ExecutionMode.BASELINE]
+        svt = grid[fps][ExecutionMode.SW_SVT]
+        paper = video.PAPER[fps]
+        rows.append((
+            f"{fps} FPS",
+            f"{base.dropped} (paper {paper['baseline']})",
+            f"{svt.dropped} (paper {paper['svt']})",
+        ))
+    report("Figure 10", format_table(
+        ["Rate", "Baseline drops", "SVt drops"],
+        rows,
+        title="Figure 10: dropped frames over 5 min of playback",
+    ))
+
+    base120 = grid[120][ExecutionMode.BASELINE].dropped
+    svt120 = grid[120][ExecutionMode.SW_SVT].dropped
+    assert grid[24][ExecutionMode.BASELINE].dropped == 0
+    assert grid[24][ExecutionMode.SW_SVT].dropped == 0
+    assert grid[60][ExecutionMode.BASELINE].dropped <= 8
+    assert grid[60][ExecutionMode.SW_SVT].dropped \
+        <= grid[60][ExecutionMode.BASELINE].dropped
+    assert base120 == pytest.approx(40, abs=10)
+    assert svt120 == pytest.approx(26, abs=8)
+    # Paper: "SVt brings frame drops down to 0.65x at 120 FPS".
+    assert svt120 / base120 == pytest.approx(0.65, abs=0.18)

@@ -1,0 +1,129 @@
+"""Figure 7 — I/O subsystem latency and bandwidth speedups."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.mode import ExecutionMode
+from repro.workloads import disk, netperf
+
+MODES = ExecutionMode.ALL
+
+
+def _speedups(values, higher_is_better):
+    base = values[ExecutionMode.BASELINE]
+    if higher_is_better:
+        return (values[ExecutionMode.SW_SVT] / base,
+                values[ExecutionMode.HW_SVT] / base)
+    return (base / values[ExecutionMode.SW_SVT],
+            base / values[ExecutionMode.HW_SVT])
+
+
+def test_fig7_network_latency(benchmark, report):
+    values = benchmark(
+        lambda: {m: netperf.run_latency(m, operations=12, warmup=2)
+                 for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=False)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - network latency", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("netperf TCP_RR (us)",
+          f"{base:.0f} (paper 163)",
+          f"{sw:.2f}x (paper 1.10x)",
+          f"{hw:.2f}x (paper 2.38x)")],
+    ))
+    assert base == pytest.approx(163, rel=0.06)
+    assert sw == pytest.approx(1.10, abs=0.06)
+    assert hw == pytest.approx(2.38, abs=0.12)
+
+
+def test_fig7_network_bandwidth(benchmark, report):
+    values = benchmark(
+        lambda: {m: netperf.run_bandwidth(m) for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=True)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - network bandwidth", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("netperf TCP_STREAM (Mbps)",
+          f"{base:.0f} (paper 9387)",
+          f"{sw:.2f}x (paper 1.00x)",
+          f"{hw:.2f}x (paper 1.12x)")],
+    ))
+    assert base == pytest.approx(9387, rel=0.03)
+    assert sw == pytest.approx(1.00, abs=0.05)
+    assert hw == pytest.approx(1.12, abs=0.05)
+
+
+def test_fig7_disk_randrd_latency(benchmark, report):
+    values = benchmark(
+        lambda: {m: disk.run_latency(m, write=False, operations=10,
+                                     warmup=1) for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=False)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - disk randrd latency", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("ioping 512B randrd (us)",
+          f"{base:.0f} (paper 126)",
+          f"{sw:.2f}x (paper 1.30x)",
+          f"{hw:.2f}x (paper 2.18x)")],
+    ))
+    assert base == pytest.approx(126, rel=0.06)
+    assert sw == pytest.approx(1.30, abs=0.08)
+    assert hw == pytest.approx(2.18, abs=0.25)
+
+
+def test_fig7_disk_randwr_latency(benchmark, report):
+    values = benchmark(
+        lambda: {m: disk.run_latency(m, write=True, operations=10,
+                                     warmup=1) for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=False)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - disk randwr latency", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("ioping 512B randwr (us)",
+          f"{base:.0f} (paper 179)",
+          f"{sw:.2f}x (paper 1.05x)",
+          f"{hw:.2f}x (paper 2.26x)")],
+    ))
+    assert base == pytest.approx(179, rel=0.06)
+    assert sw == pytest.approx(1.05, abs=0.05)
+    assert hw == pytest.approx(2.26, abs=0.15)
+
+
+def test_fig7_disk_randrd_bandwidth(benchmark, report):
+    values = benchmark(
+        lambda: {m: disk.run_bandwidth(m, write=False) for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=True)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - disk randrd bandwidth", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("fio 4KB randrd (KB/s)",
+          f"{base:.0f} (paper 87136)",
+          f"{sw:.2f}x (paper 1.55x)",
+          f"{hw:.2f}x (paper 2.31x)")],
+    ))
+    assert base == pytest.approx(87_136, rel=0.10)
+    assert 1.2 <= sw <= 1.6
+    assert 2.0 <= hw <= 2.6
+
+
+def test_fig7_disk_randwr_bandwidth(benchmark, report):
+    values = benchmark(
+        lambda: {m: disk.run_bandwidth(m, write=True) for m in MODES}
+    )
+    sw, hw = _speedups(values, higher_is_better=True)
+    base = values[ExecutionMode.BASELINE]
+    report("Figure 7 - disk randwr bandwidth", format_table(
+        ["Metric", "Baseline", "SW SVt", "HW SVt"],
+        [("fio 4KB randwr (KB/s)",
+          f"{base:.0f} (paper 55769)",
+          f"{sw:.2f}x (paper 1.18x)",
+          f"{hw:.2f}x (paper 2.60x)")],
+    ))
+    assert base == pytest.approx(55_769, rel=0.05)
+    assert sw == pytest.approx(1.18, abs=0.06)
+    assert hw == pytest.approx(2.60, abs=0.15)

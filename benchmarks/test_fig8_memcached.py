@@ -1,0 +1,46 @@
+"""Figure 8 — memcached latency vs offered load (Facebook ETC)."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.mode import ExecutionMode
+from repro.workloads import memcached
+
+
+def test_fig8_memcached_curves(benchmark, report):
+    def sweep():
+        return (
+            memcached.run(ExecutionMode.BASELINE, requests=20_000),
+            memcached.run(ExecutionMode.SW_SVT, requests=20_000),
+        )
+
+    baseline, svt = benchmark(sweep)
+
+    rows = [
+        (f"{b.offered_kqps:.1f}",
+         f"{b.avg_us:.0f}", f"{b.p99_us:.0f}",
+         f"{s.avg_us:.0f}", f"{s.p99_us:.0f}")
+        for b, s in zip(baseline.points, svt.points)
+    ]
+    p99_ratio, avg_ratio = memcached.headline_improvements(baseline, svt)
+    rendered = format_table(
+        ["kQPS", "base avg", "base p99", "SVt avg", "SVt p99"],
+        rows,
+        title="Figure 8: memcached latency (us) vs offered load, "
+              "SLA 500 us",
+    )
+    rendered += (
+        f"\np99 improvement within SLA: {p99_ratio:.2f}x (paper 2.20x)"
+        f"\navg improvement:            {avg_ratio:.2f}x (paper 1.43x)"
+        f"\nmax in-SLA load: baseline {baseline.max_load_within_sla():.1f}"
+        f" kQPS, SVt {svt.max_load_within_sla():.1f} kQPS"
+    )
+    report("Figure 8", rendered)
+
+    assert p99_ratio == pytest.approx(2.20, abs=0.35)
+    assert avg_ratio == pytest.approx(1.43, abs=0.25)
+    assert svt.max_load_within_sla() > baseline.max_load_within_sla()
+    # Latency-vs-load curves rise monotonically (open-loop saturation).
+    for result in (baseline, svt):
+        p99s = [point.p99_us for point in result.points]
+        assert p99s == sorted(p99s)

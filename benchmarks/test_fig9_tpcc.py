@@ -1,0 +1,34 @@
+"""Figure 9 — TPC-C + PostgreSQL throughput."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.mode import ExecutionMode
+from repro.workloads import tpcc
+
+
+def test_fig9_tpcc_throughput(benchmark, report):
+    def run_both():
+        return (tpcc.run(ExecutionMode.BASELINE, transactions=2),
+                tpcc.run(ExecutionMode.SW_SVT, transactions=2),
+                tpcc.run(ExecutionMode.HW_SVT, transactions=2))
+
+    baseline, svt, hw = benchmark(run_both)
+    speedup = svt.ktpm / baseline.ktpm
+
+    report("Figure 9", format_table(
+        ["System", "ktpm", "txn (ms)", "Speedup"],
+        [
+            ("Baseline", f"{baseline.ktpm:.2f} (paper 6.37)",
+             f"{baseline.txn_ms:.1f}", "1.00x"),
+            ("SVt (SW)", f"{svt.ktpm:.2f}", f"{svt.txn_ms:.1f}",
+             f"{speedup:.2f}x (paper 1.18x)"),
+            ("SVt (HW model)", f"{hw.ktpm:.2f}", f"{hw.txn_ms:.1f}",
+             f"{hw.ktpm / baseline.ktpm:.2f}x (not in paper)"),
+        ],
+        title="Figure 9: TPC-C throughput",
+    ))
+
+    assert baseline.ktpm == pytest.approx(6.37, rel=0.03)
+    assert speedup == pytest.approx(1.18, abs=0.05)
+    assert hw.ktpm > svt.ktpm

@@ -1,0 +1,37 @@
+"""Table 1 — time breakdown of one nested cpuid (total 10.40 us)."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.workloads import cpuid
+
+PAPER_ROWS = {
+    "0 L2": (0.05, 0.47),
+    "1 Switch L2<->L0": (0.81, 7.75),
+    "2 Transform vmcs02/vmcs12": (1.29, 12.45),
+    "3 L0 handler": (4.89, 47.02),
+    "4 Switch L0<->L1": (1.40, 13.43),
+    "5 L1 handler": (1.96, 18.87),
+}
+
+
+def test_table1_breakdown(benchmark, report):
+    rows = benchmark(cpuid.table1_breakdown, iterations=20)
+
+    rendered = format_table(
+        ["Part", "Time (us)", "Perc. (%)", "Paper (us)", "Paper (%)"],
+        [
+            (label, f"{us:.2f}", f"{pct:.2f}",
+             f"{PAPER_ROWS[label][0]:.2f}", f"{PAPER_ROWS[label][1]:.2f}")
+            for label, us, pct in rows
+        ],
+        title="Table 1: nested cpuid breakdown (baseline)",
+    )
+    total = sum(us for _, us, _ in rows)
+    rendered += f"\nTotal: {total:.2f} us (paper: 10.40 us)"
+    report("Table 1", rendered)
+
+    assert total == pytest.approx(10.40, abs=0.02)
+    for label, us, pct in rows:
+        assert us == pytest.approx(PAPER_ROWS[label][0], abs=0.02)
+        assert pct == pytest.approx(PAPER_ROWS[label][1], abs=0.2)

@@ -1,0 +1,29 @@
+"""Table 4 — machine parameters of the evaluation platform."""
+
+from repro.analysis.report import format_table
+from repro.config import paper_machine
+
+PAPER_ROWS = {
+    "L0": "2xIntel E5-2630v3 (2.4GHz, 8 cores, 2-SMT), "
+          "2x64GB RAM, Intel X540-AT2 (10Gb)",
+    "L1": "6 vCPUs (1 reserved), 50GB RAM, "
+          "virtio-net-pci+vhost, virtio disk @ ramfs",
+    "L2": "3 vCPUs (1 reserved), 35GB RAM, "
+          "virtio-net-pci+vhost, virtio disk @ ramfs",
+}
+
+
+def test_table4_machine_parameters(benchmark, report):
+    machine = benchmark(paper_machine)
+    rows = machine.describe()
+
+    report("Table 4", format_table(
+        ["Level", "Description"],
+        rows,
+        title="Table 4: machine parameters",
+    ))
+
+    assert dict(rows) == PAPER_ROWS
+    assert machine.host.total_hw_threads == 32
+    assert machine.vm(2).usable_vcpus == 2   # "experiments run in two
+    #                                           virtual CPUs in L2"

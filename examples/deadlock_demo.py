@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The §5.3 interrupt deadlock, replayed step by step.
+
+SW SVt's L0 thread blocks waiting for the SVt-thread's CMD_VM_RESUME;
+if a kernel thread in L1 preempts the SVt-thread and synchronously IPIs
+the L1 vCPU that the blocked L0 thread should be running, nothing can
+make progress.  The fix: while waiting, L0 watches for interrupts aimed
+at the L1 vCPU and injects a synthetic SVT_BLOCKED trap so it can take
+them.
+
+Usage::
+
+    python examples/deadlock_demo.py
+"""
+
+from repro.core.sw_prototype import DeadlockScenario
+
+
+def replay(with_fix):
+    title = "WITH the SVT_BLOCKED fix" if with_fix else "WITHOUT the fix"
+    print(f"--- {title} " + "-" * (50 - len(title)))
+    result = DeadlockScenario(with_fix=with_fix).run()
+    for t, message in result.timeline:
+        print(f"  t={t / 1000:7.2f} us  {message}")
+    if result.completed:
+        print(f"  => completed at t={result.finished_at_ns / 1000:.2f} us "
+              f"({result.blocked_traps_injected} SVT_BLOCKED trap(s) "
+              "injected)\n")
+    else:
+        print("  => DEADLOCK: the event queue drained with the VM trap "
+              "still outstanding\n")
+
+
+def main():
+    replay(with_fix=False)
+    replay(with_fix=True)
+    print("Note the cost of the fix: trap handling takes longer than the "
+          f"undisturbed {DeadlockScenario.HANDLING_NS / 1000:.0f} us — "
+          "the paper's 'longer-latency SVt command processing'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (the evaluation environment is offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Using SMT to Accelerate Nested Virtualization' "
+        "(ISCA 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,63 @@
+"""Time-breakdown accounting (paper Table 1 and the §6.2/§6.3 profiles)."""
+
+from repro.sim.trace import Category
+
+
+def table1_rows(tracer, operations=1):
+    """Render a tracer's totals as the paper's Table 1 rows.
+
+    Lazy save/restore is folded into the L0/L1 handler rows, exactly as
+    the paper folds it ("some of the context switching costs in (1) and
+    (4) are folded into (3) and (5)").  Returns
+    ``[(label, us, percent)]``.
+    """
+    per_op = {
+        key: tracer.totals.get(key, 0) / operations
+        for key in tracer.totals
+    }
+    rows = [
+        ("0 L2", per_op.get(Category.GUEST_WORK, 0)),
+        ("1 Switch L2<->L0", per_op.get(Category.SWITCH_L2_L0, 0)),
+        ("2 Transform vmcs02/vmcs12",
+         per_op.get(Category.VMCS_TRANSFORM, 0)),
+        ("3 L0 handler",
+         per_op.get(Category.L0_HANDLER, 0)
+         + per_op.get(Category.L0_LAZY_SWITCH, 0)),
+        ("4 Switch L0<->L1", per_op.get(Category.SWITCH_L0_L1, 0)),
+        ("5 L1 handler",
+         per_op.get(Category.L1_HANDLER, 0)
+         + per_op.get(Category.L1_LAZY_SWITCH, 0)),
+    ]
+    total = sum(ns for _, ns in rows) or 1
+    return [(label, ns / 1000.0, 100.0 * ns / total) for label, ns in rows]
+
+
+def exit_reason_profile(stack):
+    """Share of exit-handling time per reason (paper §6.2/§6.3 profiling:
+    "L0 spends 4.8%-19.3% of the overall time serving EPT_MISCONFIG
+    traps...").  Returns ``{reason: fraction}`` sorted descending."""
+    total = sum(stack.exit_ns.values()) + sum(stack.aux_exit_ns.values())
+    if total == 0:
+        return {}
+    shares = {
+        reason: ns / total for reason, ns in stack.exit_ns.items()
+    }
+    for reason, ns in stack.aux_exit_ns.items():
+        shares[f"aux:{reason}"] = ns / total
+    return dict(sorted(shares.items(), key=lambda item: -item[1]))
+
+
+def vmcs_access_share(stack):
+    """Fraction of exit-handling time spent *in the L0 handlers* of L1's
+    VMCS accesses (paper §6.2: "of all time spent handling VM traps in
+    L0, only about 4% is spent in the VM trap handlers triggered by VMCS
+    accesses in L1").  Handler time only — the switch cost around each
+    access is context switching, not handling."""
+    total = sum(stack.exit_ns.values()) + sum(stack.aux_exit_ns.values())
+    if total == 0:
+        return 0.0
+    handler_ns = sum(
+        stack.aux_exit_counts.get(kind, 0) * stack.costs.l0_pure(kind)
+        for kind in ("VMREAD", "VMWRITE")
+    )
+    return handler_ns / total

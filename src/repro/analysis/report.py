@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print measured-vs-paper rows; keeping the formatting here
+makes the bench files read like the paper's tables.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table; returns the string."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in text_rows))
+        if text_rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def speedup_row(label, baseline_value, measured, paper, unit=""):
+    """One Fig.-7-style row: measured baseline + speedups vs paper's."""
+    measured_sw, measured_hw = measured
+    paper_base, paper_sw, paper_hw = paper
+    return (
+        label,
+        f"{baseline_value:.1f}{unit} (paper {paper_base:.0f}{unit})",
+        f"{measured_sw:.2f}x (paper {paper_sw:.2f}x)",
+        f"{measured_hw:.2f}x (paper {paper_hw:.2f}x)",
+    )
+
+
+def fmt_us(ns):
+    """Nanoseconds -> 'X.XX us' string."""
+    return f"{ns / 1000.0:.2f} us"

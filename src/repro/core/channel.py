@@ -1,0 +1,138 @@
+"""SW SVt shared-memory command rings (paper §5.2 / Figure 5).
+
+When L0 starts an L1 guest hypervisor it creates, per vCPU, *"two shared
+memory buffers ... each buffer is a unidirectional command ring that will
+be used to communicate VM trap and resume events regarding the L2 guest
+VM"*.  L0 pushes ``CMD_VM_TRAP`` onto the request ring; the SVt-thread in
+L1 answers with ``CMD_VM_RESUME`` on the response ring.  Because neither
+side has SVt's cross-thread register access, *"SW SVt sends the necessary
+information together with the commands"* — general-purpose register
+values and the VM trap identifier ride in the payload.
+"""
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ChannelError
+
+
+class CommandKind:
+    VM_TRAP = "CMD_VM_TRAP"
+    VM_RESUME = "CMD_VM_RESUME"
+    BLOCKED = "CMD_SVT_BLOCKED"   # §5.3 notification variant
+
+    ALL = (VM_TRAP, VM_RESUME, BLOCKED)
+
+
+@dataclass
+class Command:
+    """One ring entry: a command plus its register/exit-info payload."""
+
+    kind: str
+    payload: dict = field(default_factory=dict)
+    seq: int = 0
+    enqueued_at: int = 0
+
+    def __post_init__(self):
+        if self.kind not in CommandKind.ALL:
+            raise ChannelError(f"unknown command kind {self.kind!r}")
+
+
+class CommandRing:
+    """A bounded unidirectional command ring in shared memory."""
+
+    def __init__(self, name, capacity=64, placement="smt"):
+        if capacity < 1:
+            raise ChannelError("ring capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.placement = placement
+        self._entries = deque()
+        self._seq = itertools.count()
+        self.pushed = 0
+        self.popped = 0
+        self.max_occupancy = 0
+
+    def push(self, command, now=0):
+        if len(self._entries) >= self.capacity:
+            raise ChannelError(f"ring {self.name} full")
+        command.seq = next(self._seq)
+        command.enqueued_at = now
+        self._entries.append(command)
+        self.pushed += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return command.seq
+
+    def pop(self):
+        if not self._entries:
+            raise ChannelError(f"ring {self.name} empty")
+        self.popped += 1
+        return self._entries.popleft()
+
+    def peek(self):
+        return self._entries[0] if self._entries else None
+
+    @property
+    def occupancy(self):
+        return len(self._entries)
+
+    @property
+    def is_empty(self):
+        return not self._entries
+
+    def check_invariants(self):
+        if self.popped > self.pushed:
+            raise AssertionError("popped more commands than pushed")
+        if self.pushed - self.popped != len(self._entries):
+            raise AssertionError("occupancy out of sync with counters")
+
+
+class PairedChannels:
+    """The per-vCPU request/response ring pair with protocol checking.
+
+    Enforces the SW SVt alternation: every ``CMD_VM_TRAP`` must be
+    answered by exactly one ``CMD_VM_RESUME`` before the next trap is
+    sent (the hypervisor thread blocks on the response — paper Figure 5).
+    ``CMD_SVT_BLOCKED`` responses (§5.3) do *not* complete the exchange;
+    they let L0 service interrupts and go back to waiting.
+    """
+
+    def __init__(self, vcpu_name, capacity=64, placement="smt"):
+        self.request = CommandRing(
+            f"{vcpu_name}.req", capacity=capacity, placement=placement
+        )
+        self.response = CommandRing(
+            f"{vcpu_name}.rsp", capacity=capacity, placement=placement
+        )
+        self.in_flight = 0
+        self.round_trips = 0
+
+    def send_trap(self, payload, now=0):
+        if self.in_flight:
+            raise ChannelError("previous VM trap not yet resumed")
+        self.in_flight += 1
+        return self.request.push(Command(CommandKind.VM_TRAP, payload), now)
+
+    def send_resume(self, payload, now=0):
+        if not self.in_flight:
+            raise ChannelError("VM resume without an outstanding trap")
+        return self.response.push(
+            Command(CommandKind.VM_RESUME, payload), now
+        )
+
+    def take_request(self):
+        return self.request.pop()
+
+    def take_response(self):
+        command = self.response.pop()
+        if command.kind == CommandKind.VM_RESUME:
+            self.in_flight -= 1
+            self.round_trips += 1
+        return command
+
+    def check_invariants(self):
+        self.request.check_invariants()
+        self.response.check_invariants()
+        if self.in_flight not in (0, 1):
+            raise AssertionError(f"in_flight={self.in_flight} out of range")

@@ -1,0 +1,118 @@
+"""SVt/SMT coexistence — the paper's §3.3 discussion, modelled.
+
+*"one could design a system that dynamically chooses between using SMT
+to accelerate system-wide application execution, and SVt to accelerate
+VM operations on each core (SMT is known to have limited benefits on
+certain applications), but such analysis is out of the scope of this
+paper."*
+
+This module performs that analysis.  A core can be configured per
+scheduling epoch as:
+
+* **SMT** — two application threads co-run; aggregate throughput is
+  ``smt_yield`` (typically 1.1-1.3x of one thread — the "limited
+  benefits"); any nested VM traps pay baseline cost.
+* **SVt** — one effective thread; nested VM traps pay HW SVt cost.
+
+For a workload characterised by its nested-trap rate, the useful
+throughput of each configuration and the crossover rate follow in closed
+form, and :class:`DynamicPolicy` flips cores per epoch.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.costs import CostModel
+from repro.errors import ConfigError
+
+
+def baseline_trap_cost_ns(costs):
+    """One nested trap under stock virtualization (Table 1 total)."""
+    return costs.table1_total()
+
+
+def svt_trap_cost_ns(costs):
+    """One nested trap under HW SVt (the Fig. 6 5.36 us path)."""
+    return (
+        costs.cpuid_guest_work
+        + 4 * costs.svt_stall_resume
+        + costs.vmcs_transform
+        + costs.l0_pure("CPUID")
+        + costs.l1_pure("CPUID")
+    )
+
+
+@dataclass(frozen=True)
+class CoexistConfig:
+    """Per-core coexistence parameters."""
+
+    smt_yield: float = 1.25   # aggregate SMT throughput vs one thread
+    costs: CostModel = None
+
+    def __post_init__(self):
+        if self.smt_yield <= 1.0:
+            raise ConfigError("SMT yield must exceed a single thread")
+        if self.costs is None:
+            object.__setattr__(self, "costs", CostModel())
+
+
+def useful_throughput(config, mode, trap_rate_per_s):
+    """Fraction of a core's cycles doing application work.
+
+    ``trap_rate_per_s`` is the nested-VM-trap rate the core must absorb.
+    Throughput is relative to one non-virtualized thread.
+    """
+    if trap_rate_per_s < 0:
+        raise ConfigError("trap rate must be >= 0")
+    if mode == "smt":
+        burn = trap_rate_per_s * baseline_trap_cost_ns(config.costs) / 1e9
+        return max(0.0, config.smt_yield * (1.0 - burn))
+    if mode == "svt":
+        burn = trap_rate_per_s * svt_trap_cost_ns(config.costs) / 1e9
+        return max(0.0, 1.0 - burn)
+    raise ConfigError(f"unknown core mode {mode!r}")
+
+
+def crossover_trap_rate(config):
+    """The nested-trap rate above which SVt beats SMT on a core.
+
+    Solves ``smt_yield*(1 - r*cb) = 1 - r*cs`` for r.
+    """
+    cb = baseline_trap_cost_ns(config.costs) / 1e9
+    cs = svt_trap_cost_ns(config.costs) / 1e9
+    denominator = config.smt_yield * cb - cs
+    if denominator <= 0:
+        return float("inf")
+    return (config.smt_yield - 1.0) / denominator
+
+
+class DynamicPolicy:
+    """Per-epoch chooser: measure each core's trap rate, flip its mode."""
+
+    def __init__(self, config=None):
+        self.config = config or CoexistConfig()
+        self.flips = 0
+        self._last_choice = {}
+
+    def choose(self, core_id, trap_rate_per_s):
+        """Pick 'smt' or 'svt' for a core this epoch."""
+        smt = useful_throughput(self.config, "smt", trap_rate_per_s)
+        svt = useful_throughput(self.config, "svt", trap_rate_per_s)
+        choice = "svt" if svt > smt else "smt"
+        if self._last_choice.get(core_id) not in (None, choice):
+            self.flips += 1
+        self._last_choice[core_id] = choice
+        return choice
+
+    def fleet_throughput(self, trap_rates):
+        """Aggregate useful throughput with per-core optimal choices
+        vs all-SMT and all-SVt fleets.  Returns a dict of totals."""
+        totals = {"dynamic": 0.0, "all_smt": 0.0, "all_svt": 0.0}
+        for core_id, rate in enumerate(trap_rates):
+            choice = self.choose(core_id, rate)
+            totals["dynamic"] += useful_throughput(self.config, choice,
+                                                   rate)
+            totals["all_smt"] += useful_throughput(self.config, "smt",
+                                                   rate)
+            totals["all_svt"] += useful_throughput(self.config, "svt",
+                                                   rate)
+        return totals

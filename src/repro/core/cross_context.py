@@ -1,0 +1,59 @@
+"""ctxtld/ctxtst semantics — cross-context register access (paper §4).
+
+The target context of a cross-context access is *virtualized* through the
+``lvl`` argument (paper Table 2 and the rules of §4):
+
+* host hypervisor executing (``is_vm == 0``):
+  ``lvl == 1`` selects the context in ``SVt_vm``,
+  ``lvl == 2`` selects the context in ``SVt_nested``;
+* guest hypervisor executing (``is_vm == 1``):
+  ``lvl == 1`` selects the context in ``SVt_nested``;
+* *"Any other combination of values produces a trap into the hypervisor,
+  which can then emulate deeper virtualization hierarchies."*
+
+A trap here raises :class:`~repro.errors.CrossContextFault`; the machine
+layer converts it into a CTXT_ACCESS VM exit.
+"""
+
+from repro.cpu.smt import INVALID_CONTEXT
+from repro.errors import CrossContextFault
+
+
+def resolve_target(core, lvl):
+    """Apply the §4 lvl-virtualization rules on a core's micro-registers.
+
+    Returns a hardware context index, or raises
+    :class:`CrossContextFault` for combinations the hardware cannot
+    serve (which real SVt turns into a trap for software emulation).
+    """
+    if not core.is_vm:
+        if lvl == 1:
+            target = core.svt_vm
+        elif lvl == 2:
+            target = core.svt_nested
+        else:
+            raise CrossContextFault(
+                f"host access with unsupported lvl={lvl}"
+            )
+    else:
+        if lvl == 1:
+            target = core.svt_nested
+        else:
+            raise CrossContextFault(
+                f"guest access with unsupported lvl={lvl}"
+            )
+    if target == INVALID_CONTEXT:
+        raise CrossContextFault(
+            f"lvl={lvl} resolves to an invalid context"
+        )
+    return target
+
+
+def ctxt_read(core, lvl, register):
+    """Execute a ``ctxtld lvl, register`` on the core."""
+    return core.cross_read(resolve_target(core, lvl), register)
+
+
+def ctxt_write(core, lvl, register, value):
+    """Execute a ``ctxtst lvl, register, value`` on the core."""
+    core.cross_write(resolve_target(core, lvl), register, value)

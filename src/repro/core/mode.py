@@ -1,0 +1,32 @@
+"""Execution modes compared throughout the paper's evaluation."""
+
+from repro.errors import ConfigError
+
+
+class ExecutionMode:
+    """The three systems of paper §6.
+
+    * ``BASELINE`` — stock nested virtualization: every boundary crossing
+      is a memory-based context switch (Table 1 costs).
+    * ``SW_SVT`` — the software-only prototype (§5.2): L1's trap handling
+      runs on a sibling SMT thread, reached over shared-memory command
+      rings; the L2<->L0 path is unchanged.
+    * ``HW_SVT`` — the proposed hardware (§4): every virtualization level
+      is pinned in a hardware context; traps and resumes are thread
+      stall/resume events and hypervisors touch subordinate registers via
+      ctxtld/ctxtst.
+    """
+
+    BASELINE = "baseline"
+    SW_SVT = "sw_svt"
+    HW_SVT = "hw_svt"
+
+    ALL = (BASELINE, SW_SVT, HW_SVT)
+
+    @classmethod
+    def validate(cls, mode):
+        if mode not in cls.ALL:
+            raise ConfigError(
+                f"unknown execution mode {mode!r}; pick one of {cls.ALL}"
+            )
+        return mode

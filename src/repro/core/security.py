@@ -1,0 +1,136 @@
+"""Security/interference analysis of SVt's SMT usage (paper §3.4).
+
+The paper's argument: SMT co-location is dangerous (two security domains
+share a physical core *simultaneously*, so Spectre-class state poisoning
+between domain switches does not help) and slow (co-runners contend for
+execution resources) — which is why operators disable SMT.  SVt is
+exempt from both because *"an SVt-enabled core executes code from a
+single VM or hypervisor context at any point in time"* and *"the CPU
+would squash all speculative instructions before it starts fetching
+instructions of a different SMT thread"*.
+
+:class:`CoResidencyAuditor` makes that argument checkable: it observes a
+core's context switching and accounts, cycle by simulated cycle, how
+long two distinct security domains were *concurrently resident and
+executing*.  Under SMT co-scheduling that figure is the whole overlap;
+under SVt it must be exactly zero — an invariant the test suite enforces
+over fuzzed workloads.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class _Interval:
+    domain: str
+    start: int
+    end: int = None
+
+
+class CoResidencyAuditor:
+    """Tracks which security domain each hardware context executes and
+    measures concurrent cross-domain execution time."""
+
+    def __init__(self, n_contexts):
+        if n_contexts < 1:
+            raise ConfigError("auditor needs at least one context")
+        self._running = {}          # context index -> _Interval
+        self._finished = []
+        self.now = 0
+        self.n_contexts = n_contexts
+
+    # -- event feed ------------------------------------------------------
+
+    def advance(self, ns):
+        if ns < 0:
+            raise ConfigError("time cannot go backwards")
+        self.now += ns
+
+    def start(self, context_index, domain):
+        self._check(context_index)
+        if context_index in self._running:
+            raise ConfigError(f"context {context_index} already running")
+        self._running[context_index] = _Interval(domain, self.now)
+
+    def stop(self, context_index):
+        self._check(context_index)
+        interval = self._running.pop(context_index, None)
+        if interval is None:
+            raise ConfigError(f"context {context_index} not running")
+        interval.end = self.now
+        self._finished.append(interval)
+
+    def _check(self, index):
+        if not 0 <= index < self.n_contexts:
+            raise ConfigError(f"no context {index}")
+
+    # -- analysis -----------------------------------------------------------
+
+    def _all_intervals(self):
+        out = list(self._finished)
+        for interval in self._running.values():
+            out.append(_Interval(interval.domain, interval.start,
+                                 self.now))
+        return out
+
+    def cross_domain_coresidency_ns(self):
+        """Total time during which two intervals of *different* domains
+        overlapped — the side-channel exposure window."""
+        intervals = self._all_intervals()
+        total = 0
+        for i, a in enumerate(intervals):
+            for b in intervals[i + 1:]:
+                if a.domain == b.domain:
+                    continue
+                overlap = min(a.end, b.end) - max(a.start, b.start)
+                if overlap > 0:
+                    total += overlap
+        return total
+
+    def is_svt_safe(self):
+        """The §3.4 property: zero cross-domain co-residency."""
+        return self.cross_domain_coresidency_ns() == 0
+
+
+def audit_machine_run(machine, program):
+    """Run a program on a machine while auditing context co-residency.
+
+    Hooks the core's fetch steering: whenever the fetch target changes,
+    the auditor closes the old context's interval and opens the new
+    one's, labelled by the owning virtualization level.  Returns the
+    auditor.
+    """
+    core = machine.core
+    auditor = CoResidencyAuditor(core.n_contexts)
+
+    def domain_of(index):
+        context = core.context(index)
+        return context.owner_label or f"level-{index}"
+
+    auditor.start(core.svt_current, domain_of(core.svt_current))
+    original = core._switch_fetch
+
+    def audited_switch(target_index):
+        if target_index != core.svt_current:
+            auditor.now = core.sim.now
+            auditor.stop(core.svt_current)
+            auditor.start(target_index, domain_of(target_index))
+        original(target_index)
+
+    core._switch_fetch = audited_switch
+    try:
+        machine.run_program(program)
+    finally:
+        core._switch_fetch = original
+    auditor.now = machine.sim.now
+    return auditor
+
+
+def smt_coscheduling_exposure(domain_a_ns, domain_b_ns):
+    """For contrast: naive SMT co-scheduling of two domains exposes them
+    to each other for the whole overlap of their runtimes."""
+    if domain_a_ns < 0 or domain_b_ns < 0:
+        raise ConfigError("runtimes must be >= 0")
+    return min(domain_a_ns, domain_b_ns)

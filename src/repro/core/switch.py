@@ -1,0 +1,338 @@
+"""Switch engines: per-mode pricing and mechanics of boundary crossings.
+
+`repro.virt.nested` executes Algorithm 1's control flow exactly once;
+every boundary crossing calls into one of these engines, which (a) charge
+the mode's cost for the crossing and (b) perform the mode's *mechanism* —
+memory context switches for the baseline, command-ring traffic for the
+software prototype, hardware-context stall/resume plus cross-context
+register stores for HW SVt.
+
+Cost anchors (see `repro.cpu.costs`): one full baseline nested-trap cycle
+sums to Table 1's 10.40 µs; SW SVt replaces the two L0<->L1 crossings and
+L1's lazy save/restore with two command hops (8.46 µs, 1.23×); HW SVt
+replaces every crossing with thread stall/resume (5.36 µs, 1.94×).
+"""
+
+from repro.cpu.registers import RegNames
+from repro.core.cross_context import ctxt_write
+from repro.core.mode import ExecutionMode
+from repro.errors import ConfigError
+from repro.sim.trace import Category
+
+
+class SwitchEngine:
+    """Interface + shared helpers.  Subclasses override the crossings."""
+
+    mode = None
+
+    def __init__(self, sim, tracer, costs):
+        self.sim = sim
+        self.tracer = tracer
+        self.costs = costs
+
+    def _charge(self, ns, category):
+        if ns:
+            self.sim.advance(ns)
+            self.tracer.record(category, ns)
+
+    # -- crossings (overridden) -------------------------------------------
+
+    def exit_l2_to_l0(self):
+        raise NotImplementedError
+
+    def resume_l2(self):
+        raise NotImplementedError
+
+    def enter_l1(self, exit_info, vcpu):
+        """Hand a reflected exit to L1 (Alg. 1 line 6)."""
+        raise NotImplementedError
+
+    def leave_l1(self, vcpu):
+        """L1's VM resume comes back to L0 (Alg. 1 line 12)."""
+        raise NotImplementedError
+
+    def aux_exit_begin(self):
+        """An L1 privileged op traps to L0 (Alg. 1 line 8)."""
+        raise NotImplementedError
+
+    def aux_exit_end(self):
+        """...and L0 resumes L1 (Alg. 1 line 10)."""
+        raise NotImplementedError
+
+    def exit_l1_single(self):
+        """A plain (single-level) guest exit of L1 itself."""
+        raise NotImplementedError
+
+    def resume_l1_single(self):
+        raise NotImplementedError
+
+    # -- lazy save/restore charges (overridden where they vanish) -----------
+
+    def charge_l0_lazy_nested(self):
+        self._charge(self.costs.l0_lazy_switch, Category.L0_LAZY_SWITCH)
+
+    def charge_l0_lazy_direct(self):
+        self._charge(self.costs.l0_lazy_direct, Category.L0_LAZY_SWITCH)
+
+    def charge_l1_lazy(self):
+        self._charge(self.costs.l1_lazy_switch, Category.L1_LAZY_SWITCH)
+
+    def charge_l0_single_lazy(self):
+        self._charge(self.costs.l0_single_lazy, Category.L0_LAZY_SWITCH)
+
+    # -- VMCS activation ------------------------------------------------------
+
+    def load_vmcs(self, vmcs):
+        """VMPTRLD: baseline folds the cost into the handler figures."""
+        vmcs.loaded = True
+
+    # -- register writers -------------------------------------------------------
+
+    def l1_writer(self, l2_vcpu):
+        """How L1's handler updates L2's registers."""
+        return l2_vcpu.write
+
+    def l0_writer(self, vcpu, lvl=1):
+        """How L0's handler updates a guest's registers."""
+        return vcpu.write
+
+    def l0_single_writer(self, vcpu):
+        """Writer for single-level exits of L1's own vCPUs.  Those run on
+        other cores (with their own SVt pairs under HW SVt), so every
+        mode updates the vCPU state directly here."""
+        return vcpu.write
+
+    def charge_guest_wake(self, target_level):
+        """Waking an idle guest vCPU to deliver an event.  The baseline
+        pays a scheduler wakeup for either level; overridden where SVt
+        replaces the wake with cheaper machinery."""
+        self._charge(self.costs.idle_wake, Category.INTERRUPT)
+
+
+class BaselineEngine(SwitchEngine):
+    """Stock nested virtualization: memory-based context switches."""
+
+    mode = ExecutionMode.BASELINE
+
+    def exit_l2_to_l0(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def resume_l2(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def enter_l1(self, exit_info, vcpu):
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def leave_l1(self, vcpu):
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def aux_exit_begin(self):
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def aux_exit_end(self):
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def exit_l1_single(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def resume_l1_single(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+
+class SwSvtEngine(SwitchEngine):
+    """The software-only prototype (paper §5.2).
+
+    The L2<->L0 path is the stock one; the L0<->L1 reflection becomes
+    command-ring traffic to the SVt-thread on the sibling SMT hardware
+    thread, and L1's lazy save/restore disappears (its state stays live
+    on that thread).  Register values ride in the command payloads.
+    """
+
+    mode = ExecutionMode.SW_SVT
+
+    #: L1 privileged ops whose handling must be propagated from L01 to
+    #: L00 to keep the hardware contexts consistent (paper §5.2: "e.g.,
+    #: accessing certain control and MSR registers, or executing the
+    #: INVEPT instruction").  Plain shadow-field VMREAD/VMWRITEs resolve
+    #: locally on the sibling thread.
+    PROPAGATED_AUX = frozenset({"INVEPT", "CR_ACCESS"})
+
+    def __init__(self, sim, tracer, costs, channels,
+                 placement="smt", mechanism="mwait"):
+        super().__init__(sim, tracer, costs)
+        self.channels = channels
+        self.placement = placement
+        self.mechanism = mechanism
+        self._pending_writes = None
+
+    def _hop(self):
+        self._charge(
+            self.costs.channel_one_way(self.placement, self.mechanism),
+            Category.CHANNEL,
+        )
+
+    def exit_l2_to_l0(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def resume_l2(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def enter_l1(self, exit_info, vcpu):
+        payload = {
+            "exit_reason": exit_info.reason,
+            "qualification": dict(exit_info.qualification),
+            "regs": {name: vcpu.read(name) for name in RegNames.GPRS},
+            "rip": vcpu.read(RegNames.RIP),
+        }
+        self.channels.send_trap(payload, now=self.sim.now)
+        self._hop()
+        self.channels.take_request()
+        self._pending_writes = {}
+
+    def leave_l1(self, vcpu):
+        writes = self._pending_writes or {}
+        self._pending_writes = None
+        self.channels.send_resume({"regs": dict(writes)}, now=self.sim.now)
+        self._hop()
+        response = self.channels.take_response()
+        for register, value in response.payload["regs"].items():
+            vcpu.write(register, value)
+
+    def charge_l1_lazy(self):
+        # L1's handler state never leaves its SMT thread: no lazy cost.
+        pass
+
+    def aux_exit_begin(self):
+        # The SVt-thread's own trap is captured by L0 on the *sibling*
+        # hardware thread, through the stock exit path.
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def aux_exit_end(self):
+        self._charge(self.costs.switch_l0_l1_each, Category.SWITCH_L0_L1)
+
+    def propagate_aux(self, kind):
+        """Cross-thread state propagation for consistency-critical ops
+        (L01 -> L00 and back)."""
+        if kind in self.PROPAGATED_AUX:
+            self._hop()
+            self._hop()
+
+    def exit_l1_single(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def resume_l1_single(self):
+        self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
+
+    def charge_guest_wake(self, target_level):
+        """The SVt-thread is mwait-parked on the sibling hardware thread:
+        waking L1 is just the command's cache-line write.  Waking L2
+        still uses the stock scheduler path."""
+        if target_level == 2:
+            self._charge(self.costs.idle_wake, Category.INTERRUPT)
+
+    def l1_writer(self, l2_vcpu):
+        """L1 has no cross-thread register access: its updates are
+        buffered into the CMD_VM_RESUME payload and applied by L0."""
+        def write(register, value):
+            if self._pending_writes is None:
+                raise ConfigError("L1 write outside a reflection window")
+            self._pending_writes[register] = value
+        return write
+
+
+class HwSvtEngine(SwitchEngine):
+    """The proposed hardware (paper §4): stall/resume fetch steering and
+    ctxtld/ctxtst register access through the shared PRF."""
+
+    mode = ExecutionMode.HW_SVT
+
+    def __init__(self, sim, tracer, costs, core):
+        super().__init__(sim, tracer, costs)
+        self.core = core
+
+    def load_vmcs(self, vmcs):
+        """VMPTRLD caches the SVt fields into the micro-registers
+        (paper §4 step B)."""
+        vmcs.loaded = True
+        self.core.load_svt_fields(
+            vmcs.read("svt_visor"),
+            vmcs.read("svt_vm"),
+            vmcs.read("svt_nested"),
+        )
+
+    def exit_l2_to_l0(self):
+        self.core.svt_trap()
+
+    def resume_l2(self):
+        self.core.svt_resume()
+
+    def enter_l1(self, exit_info, vcpu):
+        self.core.svt_resume()
+
+    def leave_l1(self, vcpu):
+        self.core.svt_trap()
+
+    def aux_exit_begin(self):
+        self.core.svt_trap()
+
+    def aux_exit_end(self):
+        self.core.svt_resume()
+
+    def exit_l1_single(self):
+        # L1's own vCPUs (e.g. its vhost backend) run on *other* cores,
+        # each with its own L0/L1 SVt context pair; their exits are
+        # stall/resume events there.  We charge the cost without steering
+        # this core's fetch target.
+        self._charge(self.costs.svt_stall_resume, Category.STALL_RESUME)
+
+    def resume_l1_single(self):
+        self._charge(self.costs.svt_stall_resume, Category.STALL_RESUME)
+
+    def charge_guest_wake(self, target_level):
+        # Idle guests are stalled hardware contexts: delivering an event
+        # is a thread resume, not a scheduler wakeup.
+        self._charge(self.costs.svt_stall_resume, Category.STALL_RESUME)
+
+    # Every lazy save/restore disappears: state lives in the PRF.
+
+    def charge_l0_lazy_nested(self):
+        pass
+
+    def charge_l0_lazy_direct(self):
+        pass
+
+    def charge_l1_lazy(self):
+        pass
+
+    def charge_l0_single_lazy(self):
+        pass
+
+    def l1_writer(self, l2_vcpu):
+        """L1 updates L2 with ``ctxtst lvl=1`` — resolved through
+        SVt_nested because a guest hypervisor is executing (is_vm == 1)."""
+        def write(register, value):
+            ctxt_write(self.core, 1, register, value)
+        return write
+
+    def l0_writer(self, vcpu, lvl=1):
+        """L0 updates a guest with ``ctxtst`` — lvl 1 hits SVt_vm, lvl 2
+        SVt_nested (is_vm == 0 while L0 runs)."""
+        def write(register, value):
+            ctxt_write(self.core, lvl, register, value)
+        return write
+
+
+def make_engine(mode, sim, tracer, costs, core=None, channels=None,
+                placement="smt", mechanism="mwait"):
+    """Factory used by :class:`repro.core.system.Machine`."""
+    ExecutionMode.validate(mode)
+    if mode == ExecutionMode.BASELINE:
+        return BaselineEngine(sim, tracer, costs)
+    if mode == ExecutionMode.SW_SVT:
+        if channels is None:
+            raise ConfigError("SW SVt needs a PairedChannels instance")
+        return SwSvtEngine(sim, tracer, costs, channels,
+                           placement=placement, mechanism=mechanism)
+    if core is None:
+        raise ConfigError("HW SVt needs an SmtCore")
+    return HwSvtEngine(sim, tracer, costs, core)

@@ -1,0 +1,66 @@
+"""Hardware execution context (one SMT thread's replicated state)."""
+
+from repro.cpu.prf import RenameMap
+from repro.errors import VirtualizationError
+
+
+class ContextState:
+    """Lifecycle states of a hardware context."""
+
+    IDLE = "idle"          # no state loaded
+    RUNNING = "running"    # the core is fetching from this context
+    STALLED = "stalled"    # state held in the PRF, fetch suspended (SVt)
+    HALTED = "halted"      # executed HLT / mwait, waiting for an event
+
+    ALL = (IDLE, RUNNING, STALLED, HALTED)
+
+
+class HardwareContext:
+    """One SMT hardware thread: a rename map over the core's shared PRF
+    plus a tiny amount of per-thread control state."""
+
+    def __init__(self, index, prf):
+        self.index = index
+        self.registers = RenameMap(prf)
+        self.state = ContextState.IDLE
+        self.owner_label = None  # e.g. "L0", "L1", "L2" — set by software
+
+    # -- register plumbing -------------------------------------------------
+
+    def read(self, name):
+        return self.registers.read(name)
+
+    def write(self, name, value):
+        self.registers.write(name, value)
+
+    def load_state(self, arch_registers, owner_label=None):
+        """Load a full architectural snapshot into this context."""
+        self.registers.load_snapshot(arch_registers)
+        if owner_label is not None:
+            self.owner_label = owner_label
+        if self.state == ContextState.IDLE:
+            self.state = ContextState.STALLED
+
+    def extract_state(self):
+        return self.registers.extract_snapshot()
+
+    def release(self):
+        """Tear the context down, freeing its PRF entries."""
+        self.registers.clear()
+        self.state = ContextState.IDLE
+        self.owner_label = None
+
+    # -- state transitions --------------------------------------------------
+
+    def set_state(self, new_state):
+        if new_state not in ContextState.ALL:
+            raise VirtualizationError(f"unknown context state {new_state!r}")
+        self.state = new_state
+
+    @property
+    def is_running(self):
+        return self.state == ContextState.RUNNING
+
+    def __repr__(self):
+        owner = self.owner_label or "-"
+        return f"HardwareContext(#{self.index}, {self.state}, owner={owner})"

@@ -1,0 +1,124 @@
+"""Interrupt controller model (LAPIC-like, per core).
+
+Models what the evaluation needs: external interrupts (device completions,
+timer) arriving asynchronously, IPIs between hardware contexts, and the
+TSC-deadline timer the video workload leans on (paper §6.3.3: MSR_WRITE
+exits "largely due to configuring timer interrupts (TSC deadline MSR)").
+
+SVt's interrupt rule (paper §3.1): *"the simplest option is to have the
+hypervisor configure the interrupt controller in a way that treats all
+SVt-enabled contexts as part of the same target CPU by redirecting all
+external interrupts to the hardware context where the L0 hypervisor is
+executing"* — implemented by :meth:`InterruptController.redirect_all_to`.
+"""
+
+from collections import deque
+
+from repro.errors import VirtualizationError
+
+
+class Vectors:
+    """Well-known interrupt vector numbers."""
+
+    TIMER = 0xEC
+    NET_RX = 0x60
+    NET_TX = 0x61
+    BLOCK = 0x62
+    IPI_RESCHEDULE = 0xFD
+    IPI_TLB_SHOOTDOWN = 0xFE
+    SPURIOUS = 0xFF
+
+
+class InterruptController:
+    """Pending-interrupt bookkeeping for every context of one core."""
+
+    def __init__(self, sim, n_contexts, cost_model):
+        self._sim = sim
+        self._costs = cost_model
+        self._pending = [deque() for _ in range(n_contexts)]
+        self._deadline_handles = {}
+        self._redirect_target = None
+        self._observers = []
+        self.delivered = 0
+
+    # -- configuration ----------------------------------------------------
+
+    def redirect_all_to(self, context_index):
+        """Route every *external* interrupt to one context (SVt mode)."""
+        self._check_context(context_index)
+        self._redirect_target = context_index
+
+    def clear_redirect(self):
+        self._redirect_target = None
+
+    def add_observer(self, callback):
+        """``callback(context_index, vector)`` runs on every delivery —
+        used by wait loops (mwait) to wake on interrupts."""
+        self._observers.append(callback)
+
+    # -- delivery ----------------------------------------------------------
+
+    def raise_external(self, context_index, vector, delay=0):
+        """An external (device/timer) interrupt targeting a context.
+        Honors the SVt redirect rule.  ``delay`` schedules the arrival in
+        the future; 0 delivers now."""
+        self._check_context(context_index)
+        target = (
+            self._redirect_target
+            if self._redirect_target is not None
+            else context_index
+        )
+        if delay > 0:
+            self._sim.after(delay, self._deliver, target, vector)
+        else:
+            self._deliver(target, vector)
+
+    def send_ipi(self, context_index, vector):
+        """Inter-processor interrupt (never redirected — software chose
+        the destination explicitly)."""
+        self._check_context(context_index)
+        self._sim.after(self._costs.ipi_cost, self._deliver,
+                        context_index, vector)
+
+    def arm_tsc_deadline(self, context_index, deadline_ns):
+        """Program the TSC-deadline timer; fires a TIMER vector at the
+        absolute simulation time ``deadline_ns`` (clamped to now).
+        Re-arming replaces the previous deadline, like the real MSR."""
+        self._check_context(context_index)
+        previous = self._deadline_handles.get(context_index)
+        if previous is not None:
+            previous.cancel()
+        when = max(deadline_ns, self._sim.now)
+        handle = self._sim.at(when, self.raise_external,
+                              context_index, Vectors.TIMER)
+        self._deadline_handles[context_index] = handle
+        return handle
+
+    def _deliver(self, context_index, vector):
+        self._pending[context_index].append((vector, self._sim.now))
+        self.delivered += 1
+        for callback in self._observers:
+            callback(context_index, vector)
+
+    # -- consumption ---------------------------------------------------------
+
+    def has_pending(self, context_index):
+        self._check_context(context_index)
+        return bool(self._pending[context_index])
+
+    def ack(self, context_index):
+        """Pop the oldest pending interrupt as ``(vector, raised_at_ns)``."""
+        self._check_context(context_index)
+        if not self._pending[context_index]:
+            raise VirtualizationError(
+                f"context {context_index} has no pending interrupt"
+            )
+        return self._pending[context_index].popleft()
+
+    def pending_count(self, context_index):
+        self._check_context(context_index)
+        return len(self._pending[context_index])
+
+    def _check_context(self, index):
+        if not 0 <= index < len(self._pending):
+            raise VirtualizationError(f"no hardware context {index}")

@@ -1,0 +1,197 @@
+"""Abstract instruction set for guest and hypervisor programs.
+
+Programs are streams of :class:`Instruction`.  Only the properties the
+evaluation depends on are modelled: how long an instruction computes, and
+whether it is *protected* — i.e. whether executing it inside a VM raises a
+VM trap (paper §1's trap-and-emulate model).  The SVt additions
+(``ctxtld``/``ctxtst``, paper Table 2) are first-class instructions.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import VirtualizationError
+
+
+class Op:
+    """Instruction kinds."""
+
+    ALU = "alu"                  # plain computation, never traps
+    CPUID = "cpuid"              # unconditionally trapped in VMX
+    RDMSR = "rdmsr"
+    WRMSR = "wrmsr"
+    IO_READ = "io_read"          # port I/O
+    IO_WRITE = "io_write"
+    MMIO_READ = "mmio_read"      # memory-mapped I/O (EPT misconfig traps)
+    MMIO_WRITE = "mmio_write"
+    VMCALL = "vmcall"            # explicit hypercall
+    VMPTRLD = "vmptrld"          # load a VMCS (traps when nested)
+    VMREAD = "vmread"
+    VMWRITE = "vmwrite"
+    VMRESUME = "vmresume"
+    INVEPT = "invept"
+    RDTSC = "rdtsc"              # traps only if the hypervisor forces it
+    HLT = "hlt"
+    PAUSE = "pause"
+    MONITOR = "monitor"
+    MWAIT = "mwait"
+    CTXTLD = "ctxtld"            # SVt: read a register of another context
+    CTXTST = "ctxtst"            # SVt: write a register of another context
+
+    # Kinds that *always* trap when executed inside a VM (hardware-defined
+    # unconditional exits plus the VMX instructions, which a nested guest
+    # hypervisor cannot run natively).
+    ALWAYS_EXITING = frozenset({
+        CPUID, VMCALL, VMPTRLD, VMREAD, VMWRITE, VMRESUME, INVEPT,
+    })
+
+    # Kinds whose trapping is conditional on VMCS controls / EPT layout.
+    CONDITIONALLY_EXITING = frozenset({
+        RDMSR, WRMSR, IO_READ, IO_WRITE, MMIO_READ, MMIO_WRITE, HLT,
+        MONITOR, MWAIT, CTXTLD, CTXTST, RDTSC,
+    })
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One abstract instruction.
+
+    ``work_ns`` is the cost of the instruction itself when it does *not*
+    trap; trap-path costs come from the cost model, not from here.
+    ``operands`` carries kind-specific data (MSR index, MMIO address,
+    VMCS field name, target register for ctxtld/ctxtst, ...).
+    """
+
+    kind: str
+    work_ns: int = 0
+    operands: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.work_ns < 0:
+            raise VirtualizationError("instruction work must be >= 0")
+
+    def operand(self, name):
+        try:
+            return self.operands[name]
+        except KeyError:
+            raise VirtualizationError(
+                f"{self.kind} instruction missing operand {name!r}"
+            ) from None
+
+
+# -- instruction builders ---------------------------------------------------
+
+def alu(work_ns):
+    """Plain computation of ``work_ns`` nanoseconds."""
+    return Instruction(Op.ALU, work_ns=work_ns)
+
+
+def cpuid(leaf=0):
+    return Instruction(Op.CPUID, work_ns=0, operands={"leaf": leaf})
+
+
+def rdmsr(msr):
+    return Instruction(Op.RDMSR, operands={"msr": msr})
+
+
+def wrmsr(msr, value):
+    return Instruction(Op.WRMSR, operands={"msr": msr, "value": value})
+
+
+def io_read(port, size=1):
+    return Instruction(Op.IO_READ, operands={"port": port, "size": size})
+
+
+def io_write(port, value, size=1):
+    return Instruction(
+        Op.IO_WRITE, operands={"port": port, "value": value, "size": size}
+    )
+
+
+def mmio_read(addr, size=4):
+    return Instruction(Op.MMIO_READ, operands={"addr": addr, "size": size})
+
+
+def mmio_write(addr, value, size=4):
+    return Instruction(
+        Op.MMIO_WRITE, operands={"addr": addr, "value": value, "size": size}
+    )
+
+
+def vmcall(number=0, payload=None):
+    return Instruction(
+        Op.VMCALL, operands={"number": number, "payload": payload or {}}
+    )
+
+
+def vmptrld(vmcs_name):
+    return Instruction(Op.VMPTRLD, operands={"vmcs": vmcs_name})
+
+
+def vmread(fields):
+    return Instruction(Op.VMREAD, operands={"fields": tuple(fields)})
+
+
+def vmwrite(assignments):
+    return Instruction(Op.VMWRITE, operands={"assignments": dict(assignments)})
+
+
+def vmresume():
+    return Instruction(Op.VMRESUME)
+
+
+def invept():
+    return Instruction(Op.INVEPT)
+
+
+def rdtsc():
+    """Read the timestamp counter (paper §2.1's example of a resource L1
+    may pass through while L0 forces it to trap)."""
+    return Instruction(Op.RDTSC)
+
+
+def hlt():
+    return Instruction(Op.HLT)
+
+
+def ctxtld(lvl, register):
+    """SVt cross-context load (paper Table 2)."""
+    return Instruction(Op.CTXTLD, operands={"lvl": lvl, "register": register})
+
+
+def ctxtst(lvl, register, value):
+    """SVt cross-context store (paper Table 2)."""
+    return Instruction(
+        Op.CTXTST, operands={"lvl": lvl, "register": register, "value": value}
+    )
+
+
+class Program:
+    """A finite instruction stream with an optional repeat count.
+
+    Iterating a program yields its instructions ``repeat`` times; the
+    object itself is re-iterable.
+    """
+
+    def __init__(self, instructions, repeat=1, label="program"):
+        self.instructions = tuple(instructions)
+        if repeat < 1:
+            raise VirtualizationError("program repeat must be >= 1")
+        self.repeat = repeat
+        self.label = label
+
+    def __iter__(self):
+        for _ in range(self.repeat):
+            yield from self.instructions
+
+    def __len__(self):
+        return len(self.instructions) * self.repeat
+
+    def total_work_ns(self):
+        """Sum of the non-trap work in one full iteration set."""
+        return sum(instr.work_ns for instr in self) if self.instructions else 0
+
+    def __repr__(self):
+        return (
+            f"Program({self.label!r}, {len(self.instructions)} instrs "
+            f"x{self.repeat})"
+        )

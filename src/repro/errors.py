@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SVt reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every library-specific error."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine/VM/workload configuration."""
+
+
+class VirtualizationError(ReproError):
+    """Generic virtualization-layer failure."""
+
+
+class VmcsError(VirtualizationError):
+    """Illegal VMCS access (unknown field, write to read-only, etc.)."""
+
+
+class EptFault(VirtualizationError):
+    """Address-translation failure in the extended page tables."""
+
+    def __init__(self, gpa, message=""):
+        self.gpa = gpa
+        super().__init__(message or f"EPT fault at GPA {gpa:#x}")
+
+
+class CrossContextFault(VirtualizationError):
+    """Invalid ctxtld/ctxtst use — traps to the supervising hypervisor."""
+
+
+class ChannelError(ReproError):
+    """SW SVt command-ring protocol violation."""
+
+
+class DeadlockError(ReproError):
+    """The simulation detected that no participant can make progress."""
+
+
+class PrfExhausted(ReproError):
+    """The shared physical register file has no free entries."""

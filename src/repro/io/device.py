@@ -1,0 +1,104 @@
+"""MMIO device base class.
+
+Devices expose a small register window inside the guest's physical
+address space; the window is wired into the EPT as a misconfigured
+region, so every access exits (EPT_MISCONFIG) and lands in the emulating
+hypervisor's `_handle_ept_misconfig`, which dispatches here.
+"""
+
+from repro.errors import VirtualizationError
+
+#: Register offsets inside a device's MMIO window.
+REG_DOORBELL = 0x00     # write: kick virtqueue <value>
+REG_STATUS = 0x04       # read: device status
+REG_ISR = 0x08          # read: interrupt status (ack-on-read)
+
+
+class MmioDevice:
+    """Base device: doorbell/status/ISR registers over an MMIO window."""
+
+    def __init__(self, name, base_gpa, size=0x1000):
+        self.name = name
+        self.base_gpa = base_gpa
+        self.size = size
+        self.doorbell_writes = 0
+        self.isr = 0
+
+    @property
+    def doorbell_gpa(self):
+        return self.base_gpa + REG_DOORBELL
+
+    def mmio_write(self, gpa, value):
+        offset = gpa - self.base_gpa
+        if not 0 <= offset < self.size:
+            raise VirtualizationError(
+                f"{self.name}: MMIO write outside window ({gpa:#x})"
+            )
+        if offset == REG_DOORBELL:
+            self.doorbell_writes += 1
+            self.on_kick(value)
+        # Other registers are write-ignored (like reserved virtio space).
+
+    def mmio_read(self, gpa):
+        offset = gpa - self.base_gpa
+        if not 0 <= offset < self.size:
+            raise VirtualizationError(
+                f"{self.name}: MMIO read outside window ({gpa:#x})"
+            )
+        if offset == REG_STATUS:
+            return 0x1  # DEVICE_OK
+        if offset == REG_ISR:
+            value, self.isr = self.isr, 0
+            return value
+        return 0
+
+    def raise_isr(self, bit=1):
+        self.isr |= bit
+
+    def on_kick(self, queue_index):
+        """Doorbell handler — subclasses process the named virtqueue."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r} @ {self.base_gpa:#x})"
+
+
+class PortDevice:
+    """A legacy port-I/O device (serial-style, IO_INSTRUCTION exits).
+
+    Holds a tiny register file plus an output log — enough to exercise
+    the port-I/O trap-and-emulate path end to end (an `out` from L2 is an
+    IO_INSTRUCTION exit reflected to L1, whose handler lands here).
+    """
+
+    DATA = 0        # write: emit byte; read: last byte received
+    STATUS = 5      # read: line status (always ready)
+
+    def __init__(self, name, base_port):
+        self.name = name
+        self.base_port = base_port
+        self.transmitted = []
+        self.rx_byte = 0
+        self.reads = 0
+        self.writes = 0
+
+    def port_write(self, port, value):
+        offset = port - self.base_port
+        self.writes += 1
+        if offset == self.DATA:
+            self.transmitted.append(value & 0xFF)
+
+    def port_read(self, port):
+        offset = port - self.base_port
+        self.reads += 1
+        if offset == self.DATA:
+            return self.rx_byte
+        if offset == self.STATUS:
+            return 0x60  # transmitter empty + idle
+        return 0
+
+    def attach(self, vm):
+        """Wire every register of this device into a VM's port map."""
+        for offset in (self.DATA, self.STATUS):
+            vm.attach_port_device(self, self.base_port + offset)
+        return self

@@ -1,0 +1,232 @@
+"""virtio-net + vhost over a 10 GbE fabric.
+
+The nested network path of the paper's Fig. 7/Table 4 setup:
+
+* L2's NIC is a virtio-net device **emulated by L1**: an L2 TX kick is an
+  EPT_MISCONFIG exit that L0 reflects to L1 (the expensive path the paper
+  profiles: "EPT_MISCONFIG traps, which largely correspond to accesses to
+  the network device").
+* L1's vhost worker forwards the frame through **L1's own** virtio NIC,
+  emulated by L0 — a single-level exit — whose vhost puts it on the wire.
+* RX reverses the chain: wire → L0 vhost → interrupt into L1 → L1 vhost →
+  L2's RX ring → virtual interrupt into L2 (a reflected exit whose
+  injection write is one of the §2.3 aux traps).
+
+Completion/interrupt chains are *deferred* through
+:meth:`repro.core.system.Machine.post_deferred` so they never re-enter an
+in-flight exit.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cpu.interrupts import Vectors
+from repro.errors import VirtualizationError
+from repro.io.device import MmioDevice
+from repro.io.fabric import DeviceTimings
+from repro.io.virtio import VirtQueue
+from repro.sim.trace import Category
+from repro.virt.exits import ExitInfo, ExitReason
+
+#: MMIO window bases (outside the guests' RAM ranges).
+L2_NIC_BASE = 0xFE00_0000
+L1_NIC_BASE = 0xFD00_0000
+
+TXQ, RXQ = 0, 1
+
+
+@dataclass
+class Packet:
+    """One frame on the simulated network."""
+
+    payload: object
+    nbytes: int
+    src: str = ""
+    dst: str = ""
+    sent_at: int = 0
+
+
+class VirtioNetDevice(MmioDevice):
+    """Guest-facing virtio-net front-end (one TX and one RX queue)."""
+
+    def __init__(self, name, base_gpa, backend=None, queue_size=256):
+        super().__init__(name, base_gpa)
+        self.tx = VirtQueue(f"{name}.tx", queue_size)
+        self.rx = VirtQueue(f"{name}.rx", queue_size)
+        self.backend = backend
+        self.received = []   # packets delivered to the driver
+
+    def on_kick(self, queue_index):
+        if self.backend is None:
+            raise VirtualizationError(f"{self.name} has no backend")
+        if queue_index == TXQ:
+            self.backend.process_tx(self)
+        elif queue_index == RXQ:
+            self.backend.refill_rx(self)
+        else:
+            raise VirtualizationError(
+                f"{self.name}: kick on unknown queue {queue_index}"
+            )
+
+    # -- driver-side helpers ---------------------------------------------
+
+    def queue_tx(self, packet):
+        """Driver posts one frame (no exit — the kick is separate)."""
+        return self.tx.add_buffer(packet, packet.nbytes)
+
+    def deliver_rx(self, packet):
+        """Backend placed a frame into the RX ring."""
+        descriptor = self.rx.pop_avail()
+        if descriptor is None:
+            idx = self.rx.add_buffer(None, 2048, write_only=True)
+            descriptor = self.rx.pop_avail()
+            assert descriptor is not None and descriptor.index == idx
+        descriptor.payload = packet
+        self.rx.push_used(descriptor, packet.nbytes)
+        self.raise_isr()
+
+    def reap_rx(self):
+        """Driver collects received frames."""
+        frames = []
+        while self.rx.has_used:
+            frames.append(self.rx.reap_used().payload)
+        self.received.extend(frames)
+        return frames
+
+
+class VhostNetBackend:
+    """vhost worker emulating one VirtioNetDevice.
+
+    ``owner_level`` 1 emulates L2's NIC (runs inside L1); 0 emulates L1's
+    NIC (runs in the host kernel).  ``uplink`` is the next hop: L1's own
+    front-end for the L2 backend, the fabric for the L0 backend.
+    """
+
+    def __init__(self, machine, timings, owner_level, uplink):
+        self.machine = machine
+        self.timings = timings
+        self.owner_level = owner_level
+        self.uplink = uplink
+        self.tx_processed = 0
+        self.notify_tx_completion = True
+
+    def process_tx(self, device):
+        machine = self.machine
+        machine.elapse(self.timings.vhost_tx_ns, Category.IO_DEVICE)
+        sent = []
+        while True:
+            descriptor = device.tx.pop_avail()
+            if descriptor is None:
+                break
+            device.tx.push_used(descriptor)
+            sent.append(descriptor.payload)
+        self.tx_processed += len(sent)
+        for packet in sent:
+            self._forward(packet)
+        if (sent and self.notify_tx_completion and self.owner_level == 1
+                and device.tx.should_notify()):
+            # TX-completion interrupt back into L2, once the ring settles.
+            machine.post_deferred(
+                lambda: machine.stack.inject_irq_into_l2(Vectors.NET_TX)
+            )
+
+    def _forward(self, packet):
+        if self.owner_level == 1:
+            # L1's vhost transmits through L1's *own* NIC: queue the
+            # frame and kick — a single-level exit into L0.
+            l1_nic = self.uplink
+            l1_nic.queue_tx(packet)
+            l1_nic.tx.kick()
+            self.machine.stack.l1_exit(ExitInfo(
+                ExitReason.EPT_MISCONFIG,
+                qualification={"gpa": l1_nic.doorbell_gpa, "write": True,
+                               "value": TXQ},
+            ))
+        else:
+            self.uplink.transmit(packet)
+
+    def refill_rx(self, device):
+        self.machine.elapse(self.timings.vhost_rx_ns // 2,
+                            Category.IO_DEVICE)
+
+    def deliver_up(self, packet, l2_nic):
+        """RX chain from this (L0) backend all the way into L2."""
+        machine = self.machine
+        timings = self.timings
+        # L0's vhost hands the frame to L1 (interrupt + vhost work)...
+        machine.elapse(timings.irq_wire_ns, Category.INTERRUPT)
+        machine.stack.inject_irq_into_l1(Vectors.NET_RX)
+        machine.elapse(timings.vhost_rx_ns, Category.IO_DEVICE)
+        # ...and L1's vhost delivers into L2's ring and raises the
+        # virtual interrupt (the reflected-exit-with-aux path).
+        l2_nic.deliver_rx(packet)
+        machine.stack.inject_irq_into_l2(Vectors.NET_RX)
+
+
+class NetworkFabric:
+    """The wire plus the remote peer.
+
+    The remote end (netperf/mutilate runs on a separate physical machine,
+    Table 4) is modelled as a handler producing reply packets after its
+    turnaround time.
+    """
+
+    def __init__(self, machine, timings):
+        self.machine = machine
+        self.timings = timings
+        self.remote_handler = None     # callable(Packet) -> list[Packet]
+        self.on_receive = None         # callable(Packet): local RX chain
+        self.transmitted = []
+        self.delivered = 0
+
+    def transmit(self, packet):
+        packet.sent_at = self.machine.sim.now
+        self.transmitted.append(packet)
+        if self.remote_handler is None:
+            return
+        delay = (self.timings.wire_ns(packet.nbytes)
+                 + self.timings.remote_turnaround_ns)
+        replies = self.remote_handler(packet)
+        for reply in replies:
+            arrival = delay + self.timings.wire_ns(reply.nbytes)
+            self.machine.sim.after(arrival, self._arrive, reply)
+
+    def _arrive(self, packet):
+        self.delivered += 1
+        if self.on_receive is not None:
+            # Run the RX chain at a safe point, not inside whatever
+            # charge triggered this event.
+            self.machine.post_deferred(lambda: self.on_receive(packet))
+
+
+@dataclass
+class NetworkSetup:
+    """Everything :func:`install_network` wires together."""
+
+    l2_nic: VirtioNetDevice
+    l1_nic: VirtioNetDevice
+    l1_backend: VhostNetBackend
+    l0_backend: VhostNetBackend
+    fabric: NetworkFabric
+    timings: DeviceTimings = field(default_factory=DeviceTimings)
+
+
+def install_network(machine, timings=None):
+    """Attach the full nested network path to a machine."""
+    timings = timings or DeviceTimings()
+    fabric = NetworkFabric(machine, timings)
+
+    l1_nic = VirtioNetDevice("l1-nic", L1_NIC_BASE)
+    l0_backend = VhostNetBackend(machine, timings, 0, fabric)
+    l1_nic.backend = l0_backend
+    machine.l1_vm.attach_mmio_device(l1_nic, L1_NIC_BASE)
+
+    l2_nic = VirtioNetDevice("l2-nic", L2_NIC_BASE)
+    l1_backend = VhostNetBackend(machine, timings, 1, l1_nic)
+    l2_nic.backend = l1_backend
+    machine.l2_vm.attach_mmio_device(l2_nic, L2_NIC_BASE)
+
+    fabric.on_receive = lambda packet: l0_backend.deliver_up(packet, l2_nic)
+    return NetworkSetup(
+        l2_nic=l2_nic, l1_nic=l1_nic, l1_backend=l1_backend,
+        l0_backend=l0_backend, fabric=fabric, timings=timings,
+    )

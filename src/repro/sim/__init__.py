@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate used by every other subpackage.
+
+The simulator keeps an integer nanosecond clock.  Synchronous "machine"
+code advances time by charging costs (:meth:`Simulator.advance`), while
+asynchronous events (interrupt arrivals, client requests) are scheduled
+with :meth:`Simulator.after` / :meth:`Simulator.at` and fire in timestamp
+order whenever the clock sweeps past them.
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import (
+    Summary,
+    mean,
+    percentile,
+    remove_outliers,
+    stddev,
+    summarize,
+)
+from repro.sim.timeline import Span, Timeline, record_exit_timeline
+from repro.sim.trace import Tracer, Category
+
+__all__ = [
+    "Category",
+    "Span",
+    "Timeline",
+    "record_exit_timeline",
+    "DeterministicRng",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Summary",
+    "Tracer",
+    "mean",
+    "percentile",
+    "remove_outliers",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,136 @@
+"""Event engine with an integer nanosecond clock.
+
+Two styles of progress coexist:
+
+* *Synchronous* code (hypervisor handlers, guest instruction execution)
+  calls :meth:`Simulator.advance` to charge elapsed time.  Any events whose
+  deadline falls inside the advanced window fire at their exact timestamp,
+  so asynchronous arrivals interleave deterministically with synchronous
+  execution.
+* *Asynchronous* code registers callbacks with :meth:`Simulator.after` or
+  :meth:`Simulator.at`; callbacks run with the clock set to their deadline.
+
+Determinism: ties on the timestamp are broken by registration order, and
+no wall-clock or global randomness is consulted anywhere.
+"""
+
+import heapq
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Cancellation token returned by :meth:`Simulator.at`/``after``."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from firing; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator (time unit: nanoseconds)."""
+
+    def __init__(self):
+        self.now = 0
+        self._queue = []
+        self._seq = 0
+        self._firing = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute ``time`` ns."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def after(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback, *args)
+
+    # -- time progress ---------------------------------------------------
+
+    def advance(self, ns):
+        """Advance the clock by ``ns``, firing events that fall due.
+
+        Synchronous machine code uses this to charge execution costs.
+        Events fire with ``now`` set to their own deadline; after the last
+        due event the clock lands exactly on the target time.
+        """
+        if ns < 0:
+            raise SimulationError(f"cannot advance by negative time {ns}")
+        target = self.now + ns
+        self._drain(target)
+        self.now = target
+        return target
+
+    def run_until_idle(self, limit=None):
+        """Fire all pending events in order; stop at ``limit`` ns if given.
+
+        Returns the final simulation time.
+        """
+        target = limit if limit is not None else None
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if target is not None and head.time > target:
+                break
+            heapq.heappop(self._queue)
+            self.now = head.time
+            head.callback(*head.args)
+        if target is not None and target > self.now:
+            self.now = target
+        return self.now
+
+    def peek_next_time(self):
+        """Timestamp of the earliest pending event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    @property
+    def pending(self):
+        """Number of non-cancelled scheduled events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    # -- internals -------------------------------------------------------
+
+    def _drain(self, target):
+        """Fire every non-cancelled event with deadline <= target."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > target:
+                break
+            heapq.heappop(self._queue)
+            self.now = head.time
+            head.callback(*head.args)

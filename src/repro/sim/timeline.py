@@ -1,0 +1,176 @@
+"""Span timeline: who ran when, exportable to Chrome's trace format.
+
+The :class:`~repro.sim.trace.Tracer` answers "how much time went where";
+the timeline answers "in what order, and overlapping what".  Spans are
+hierarchical (an exit span contains handler spans contains aux-trap
+spans), mirror Algorithm 1's structure, and export to the JSON the
+``chrome://tracing`` / Perfetto viewers load, so a nested VM trap can be
+inspected visually.
+"""
+
+import json
+
+from repro.errors import ConfigError
+
+
+class Span:
+    """One named interval with nested children."""
+
+    __slots__ = ("name", "category", "start", "end", "children", "meta")
+
+    def __init__(self, name, category, start, meta=None):
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = None
+        self.children = []
+        self.meta = meta or {}
+
+    @property
+    def duration(self):
+        if self.end is None:
+            raise ConfigError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self):
+        state = f"{self.duration}ns" if self.end is not None else "open"
+        return f"Span({self.name!r}, {self.category}, {state})"
+
+
+class Timeline:
+    """Records a stack of spans against a simulator clock."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self.roots = []
+        self._stack = []
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, name, category="span", **meta):
+        span = Span(name, category, self._sim.now, meta)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span=None):
+        if not self._stack:
+            raise ConfigError("no open span to end")
+        top = self._stack.pop()
+        if span is not None and span is not top:
+            raise ConfigError(
+                f"span nesting violated: closing {span.name!r} while "
+                f"{top.name!r} is innermost"
+            )
+        top.end = self._sim.now
+        return top
+
+    def span(self, name, category="span", **meta):
+        """Context manager form."""
+        return _SpanContext(self, name, category, meta)
+
+    @property
+    def depth(self):
+        return len(self._stack)
+
+    # -- queries -------------------------------------------------------------
+
+    def all_spans(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    def total_by_category(self):
+        """Exclusive (self-minus-children) time per category."""
+        totals = {}
+        for span in self.all_spans():
+            if span.end is None:
+                continue
+            child_time = sum(
+                c.duration for c in span.children if c.end is not None
+            )
+            exclusive = span.duration - child_time
+            totals[span.category] = totals.get(span.category, 0) \
+                + exclusive
+        return totals
+
+    def find(self, name):
+        return [s for s in self.all_spans() if s.name == name]
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chrome_trace(self, process_name="repro", thread_id=0):
+        """The Chrome/Perfetto ``traceEvents`` JSON (complete events,
+        microsecond timestamps)."""
+        events = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }]
+        for span in self.all_spans():
+            if span.end is None:
+                continue
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": thread_id,
+                "ts": span.start / 1000.0,
+                "dur": span.duration / 1000.0,
+                "args": dict(span.meta),
+            })
+        return {"traceEvents": events,
+                "displayTimeUnit": "ns"}
+
+    def dump_json(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+
+class _SpanContext:
+    def __init__(self, timeline, name, category, meta):
+        self._timeline = timeline
+        self._args = (name, category, meta)
+        self._span = None
+
+    def __enter__(self):
+        name, category, meta = self._args
+        self._span = self._timeline.begin(name, category, **meta)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._timeline.end(self._span)
+        return False
+
+
+def record_exit_timeline(machine, program):
+    """Run a program with a span per VM exit; returns the timeline.
+
+    Wraps the stack's ``l2_exit`` so every trap becomes a root span
+    whose metadata carries the exit reason — enough to see Algorithm 1's
+    rhythm in a trace viewer.
+    """
+    timeline = Timeline(machine.sim)
+    stack = machine.stack
+    original = stack.l2_exit
+
+    def traced_l2_exit(exit_info):
+        with timeline.span(f"vmexit:{exit_info.reason}", "exit",
+                           reason=exit_info.reason):
+            return original(exit_info)
+
+    stack.l2_exit = traced_l2_exit
+    try:
+        machine.run_program(program)
+    finally:
+        stack.l2_exit = original
+    return timeline

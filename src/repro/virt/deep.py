@@ -1,0 +1,105 @@
+"""Deeper nesting hierarchies (L3 and beyond).
+
+The paper's machinery is described for two levels, with the escape hatch
+that invalid ctxtld/ctxtst combinations "trap into the hypervisor, which
+can then emulate deeper virtualization hierarchies" (§4), and that the
+hypervisor multiplexes levels once they outnumber hardware contexts
+(§3.1).  This module models the cost of a VM trap at depth *k*:
+
+* A trap from L_k always lands in L0 (single-level hardware) and must be
+  reflected to L_{k-1} — but *running* L_{k-1}'s handler means running a
+  nested VM whose own privileged operations trap with the cost of a
+  depth-(k-1) exit.  The recursion makes stock nested virtualization
+  cost grow geometrically with depth (the Turtles observation).
+* SVt replaces every switch/lazy term with stall/resume while hardware
+  contexts last; levels beyond the core's SMT width are multiplexed at
+  memory-switch cost.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.costs import CostModel
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DeepNestingModel:
+    """Closed-form recursion over the calibrated cost model."""
+
+    costs: CostModel = None
+    aux_per_reflection: float = 2.0   # privileged ops per handler run
+    reason: str = "CPUID"
+
+    def __post_init__(self):
+        if self.costs is None:
+            object.__setattr__(self, "costs", CostModel())
+        if self.aux_per_reflection < 0:
+            raise ConfigError("aux_per_reflection must be >= 0")
+
+    # -- stock nested virtualization ------------------------------------
+
+    def baseline_exit_ns(self, depth):
+        """Cost of one trap from L_depth under stock virtualization."""
+        costs = self.costs
+        if depth < 1:
+            raise ConfigError("depth starts at 1 (a plain guest)")
+        if depth == 1:
+            return (costs.cpuid_guest_work + costs.switch_l2_l0
+                    + costs.l0_single(self.reason) + costs.l0_single_lazy)
+        # Reflection: L0 legs + the handler at depth-1, whose aux ops
+        # are themselves traps from depth-1.
+        handler = (costs.l1_pure(self.reason) + costs.l1_lazy_switch
+                   + self.aux_per_reflection
+                   * self.baseline_exit_ns(depth - 1))
+        return (costs.cpuid_guest_work + costs.switch_l2_l0
+                + costs.vmcs_transform
+                + costs.l0_pure(self.reason) + costs.l0_lazy_switch
+                + costs.switch_l0_l1 + handler)
+
+    # -- SVt -----------------------------------------------------------------
+
+    def svt_exit_ns(self, depth, hardware_contexts=8):
+        """Cost of one trap from L_depth under HW SVt with a core of
+        ``hardware_contexts`` contexts (levels 0..contexts-1 pinned,
+        deeper levels multiplexed at memory cost, paper §3.1)."""
+        costs = self.costs
+        if depth < 1:
+            raise ConfigError("depth starts at 1 (a plain guest)")
+        pinned = depth < hardware_contexts
+        switch = (2 * costs.svt_stall_resume if pinned
+                  else costs.switch_l2_l0)
+        if depth == 1:
+            return (costs.cpuid_guest_work + switch
+                    + costs.l0_single(self.reason)
+                    + (0 if pinned else costs.l0_single_lazy))
+        reflect_switch = (2 * costs.svt_stall_resume if pinned
+                          else costs.switch_l0_l1 + costs.l1_lazy_switch)
+        handler = (costs.l1_pure(self.reason)
+                   + self.aux_per_reflection
+                   * self.svt_exit_ns(depth - 1, hardware_contexts))
+        return (costs.cpuid_guest_work + switch
+                + costs.vmcs_transform
+                + costs.l0_pure(self.reason)
+                + (0 if pinned else costs.l0_lazy_switch)
+                + reflect_switch + handler)
+
+    # -- summaries -----------------------------------------------------------
+
+    def speedup(self, depth, hardware_contexts=8):
+        return (self.baseline_exit_ns(depth)
+                / self.svt_exit_ns(depth, hardware_contexts))
+
+    def table(self, max_depth=5, hardware_contexts=8):
+        """[(depth, baseline_us, svt_us, speedup)] for depth 1..max."""
+        rows = []
+        for depth in range(1, max_depth + 1):
+            base = self.baseline_exit_ns(depth)
+            svt = self.svt_exit_ns(depth, hardware_contexts)
+            rows.append((depth, base / 1000.0, svt / 1000.0, base / svt))
+        return rows
+
+    def sanity_check_against_simulation(self):
+        """At depth 2 with the cpuid aux count (0), the recursion must
+        reproduce the Table-1 / Fig-6 anchors."""
+        flat = DeepNestingModel(costs=self.costs, aux_per_reflection=0)
+        return (flat.baseline_exit_ns(2), flat.svt_exit_ns(2))

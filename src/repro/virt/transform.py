@@ -1,0 +1,125 @@
+"""VMCS transformations between virtualization levels (paper §2.1-§2.2).
+
+Three operations, matching Figure 2 and Algorithm 1:
+
+* :func:`sync_shadow_to_vmcs12` — step ①: L0 reflects L1's updates of
+  vmcs01' into its shadow copy vmcs12.
+* :func:`transform_12_to_02` — step ② / Alg. 1 line 14: build the
+  descriptor L2 really runs on.  Guest-physical addresses set by L1
+  become host-physical, and L0's policy is merged in ("L0 configures
+  vmcs02 to ensure access to these resources trigger a VM trap,
+  regardless of the configuration set by L1").
+* :func:`transform_02_to_12` — Alg. 1 line 3: after an L2 trap, reflect
+  hardware-written state back into vmcs12 so L1 sees it, translating
+  host-physical values back to L1's guest-physical space.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.virt.vmcs import FieldRegistry
+
+#: Guest-state fields reflected in both directions.
+_GUEST_STATE_FIELDS = tuple(FieldRegistry.names(category="guest"))
+
+#: Control fields copied from vmcs12 into vmcs02 (address-bearing ones get
+#: translated on the way).
+_CONTROL_FIELDS = tuple(FieldRegistry.names(category="control"))
+
+#: Exit-information fields reflected 02 -> 12 after a nested trap.
+_EXIT_FIELDS = tuple(FieldRegistry.names(category="exit"))
+
+#: Sentinel host-physical address standing in for L0's VM-exit entry point.
+L0_HANDLER_ENTRY = 0xFFFF_8000_0000_0000
+
+
+@dataclass
+class L0Policy:
+    """What L0 forces onto vmcs02 regardless of L1's wishes (paper §2.1:
+    timestamp-counter trapping for scheduling/migration is the example)."""
+
+    force_tsc_exit: bool = True
+    forced_msr_traps: set = field(default_factory=set)
+    forced_io_traps: set = field(default_factory=set)
+
+
+def sync_shadow_to_vmcs12(vmcs01_prime, vmcs12, fields=None):
+    """Reflect L1's writes to vmcs01' into L0's shadow vmcs12.
+
+    ``fields`` limits the sync (the trap handler knows which field L1
+    touched); ``None`` syncs every dirty field.  Returns the synced names.
+    """
+    names = list(fields) if fields is not None else sorted(
+        vmcs01_prime.dirty_fields
+    )
+    for name in names:
+        vmcs12.write(name, vmcs01_prime.read(name), force=True)
+    vmcs12.trapped_msrs = set(vmcs01_prime.trapped_msrs)
+    vmcs12.trapped_io_ports = set(vmcs01_prime.trapped_io_ports)
+    vmcs12.force_tsc_exit = vmcs01_prime.force_tsc_exit
+    return names
+
+
+def transform_12_to_02(vmcs12, vmcs02, ept01, policy, composed_ept=None):
+    """Build/refresh vmcs02 from vmcs12 (paper Fig. 2 step ②).
+
+    ``ept01`` is L0's EPT for L1 — the table that turns "guest physical
+    addresses pertaining to L1" into host-physical ones.  ``composed_ept``
+    is the pre-collapsed two-level table for L2 (see
+    :meth:`repro.virt.ept.EptTable.compose`); when given, vmcs02's EPT
+    pointer is marked as pointing at it.
+
+    Returns the names of address-bearing fields that were translated.
+    """
+    translated = []
+    for name in _GUEST_STATE_FIELDS:
+        vmcs02.write(name, vmcs12.read(name), force=True)
+    for name in _CONTROL_FIELDS:
+        fld = FieldRegistry.get(name)
+        value = vmcs12.read(name)
+        if fld.address_bearing and isinstance(value, int) and value != 0:
+            value = ept01.translate(value)
+            translated.append(name)
+        vmcs02.write(name, value, force=True)
+
+    # Host-state area of vmcs02 is L0's own, never L1's: a trap from L2
+    # must always land in L0 first (paper Fig. 1 step 1).  The sentinel
+    # address below stands for L0's trap-handler entry point.
+    vmcs02.write("host_rip", L0_HANDLER_ENTRY, force=True)
+
+    # Merge L0 policy on top of L1's trap configuration.
+    vmcs02.trapped_msrs = set(vmcs12.trapped_msrs) | set(
+        policy.forced_msr_traps
+    )
+    vmcs02.trapped_io_ports = set(vmcs12.trapped_io_ports) | set(
+        policy.forced_io_traps
+    )
+    vmcs02.force_tsc_exit = vmcs12.force_tsc_exit or policy.force_tsc_exit
+
+    if composed_ept is not None:
+        vmcs02.ept = composed_ept
+    vmcs02.take_dirty()
+    return translated
+
+
+def transform_02_to_12(vmcs02, vmcs12, ept01):
+    """Reflect post-trap state of vmcs02 back into vmcs12 (Alg. 1 line 3).
+
+    Guest state (e.g. the RIP that trapped) and the exit-information area
+    are copied; host-physical addresses in exit info are translated back
+    to L1 guest-physical via the inverse of ``ept01``.
+
+    Returns the reflected field names.
+    """
+    reflected = []
+    for name in _GUEST_STATE_FIELDS:
+        vmcs12.write(name, vmcs02.read(name), force=True)
+        reflected.append(name)
+    for name in _EXIT_FIELDS:
+        value = vmcs02.read(name)
+        if name == "guest_physical_address" and isinstance(value, int) \
+                and value != 0:
+            value = ept01.inverse(value)
+        vmcs12.write(name, value, force=True)
+        reflected.append(name)
+    vmcs12.take_dirty()
+    return reflected

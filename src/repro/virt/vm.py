@@ -1,0 +1,71 @@
+"""VM containers: a virtualization level's guest with its descriptors."""
+
+from repro.errors import VirtualizationError
+from repro.virt.ept import EptTable
+from repro.virt.vcpu import VCpu
+
+
+class VirtualMachine:
+    """A guest VM as seen by the hypervisor one level below it.
+
+    Holds the pieces Figure 2 of the paper draws: the vCPUs, the VMCS the
+    managing hypervisor runs the guest on, and the EPT mapping the guest's
+    physical address space.  Devices are attached as MMIO regions on the
+    EPT plus a port map for legacy port I/O.
+    """
+
+    RAM_BASE_HPA = 0x100000000  # where guest RAM happens to sit in the host
+
+    def __init__(self, name, level, ram_mb=1024, n_vcpus=1,
+                 ram_target_base=None):
+        """``ram_target_base`` is where this guest's RAM lands in the
+        *managing* hypervisor's physical space: host-physical when L0
+        manages the VM, but L1-guest-physical for a nested VM (L1's EPT
+        for L2 points into L1's own memory)."""
+        if n_vcpus < 1:
+            raise VirtualizationError("VM needs at least one vCPU")
+        self.name = name
+        self.level = level
+        self.ram_mb = ram_mb
+        self.vcpus = [
+            VCpu(f"{name}.vcpu{i}", level) for i in range(n_vcpus)
+        ]
+        self.ept = EptTable(name=f"ept[{name}]")
+        if ram_target_base is None:
+            ram_target_base = self.RAM_BASE_HPA + (level << 36)
+        # One contiguous RAM range carries the translation semantics the
+        # experiments exercise.
+        self.ept.map_range(0x0, ram_mb * 1024 * 1024, ram_target_base)
+        self.io_ports = {}     # port -> device
+        self.mmio_devices = []
+        # Where the managing hypervisor allocates backing for this
+        # guest's demand-paged memory (its own physical space); None
+        # lets the hypervisor pick a default pool.
+        self.backing_pool_base = None
+
+    @property
+    def vcpu(self):
+        """The first (often only) vCPU."""
+        return self.vcpus[0]
+
+    def attach_mmio_device(self, device, base_gpa, size=0x1000):
+        """Wire a device into the guest's physical address space via an
+        EPT-misconfig region (virtio-style MMIO)."""
+        region = self.ept.map_mmio(base_gpa, size, device)
+        self.mmio_devices.append(device)
+        return region
+
+    def attach_port_device(self, device, port):
+        if port in self.io_ports:
+            raise VirtualizationError(f"port {port:#x} already attached")
+        self.io_ports[port] = device
+
+    def device_at(self, gpa):
+        region = self.ept.lookup_mmio(gpa)
+        return region.device if region else None
+
+    def __repr__(self):
+        return (
+            f"VirtualMachine({self.name!r}, L{self.level}, "
+            f"{len(self.vcpus)} vCPUs, {self.ram_mb} MB)"
+        )

@@ -1,0 +1,202 @@
+"""VM state descriptor (VMCS in Intel parlance) — paper §2.1/Figure 2.
+
+A VMCS "contains various fields that describe information such as the
+reason of a VM trap ... or the context of the host and its guest vCPU".
+We model a typed field registry with the properties the nested-
+virtualization machinery cares about:
+
+* ``address_bearing`` — the field holds a physical address and therefore
+  must be translated between guest-physical and host-physical space when
+  L0 transforms vmcs12 into vmcs02 (paper §2.1: "L0 must thus transform
+  these addresses into the actual host physical addresses").
+* ``shadow_read`` / ``shadow_write`` — whether Intel-style hardware VMCS
+  shadowing can satisfy the access without a VM trap (paper §2.1: "the
+  CPU can only shadow some of the VMCS fields").
+
+The three SVt fields of paper Table 2 are ordinary fields here, so the
+shadowing/transformation machinery applies to them unchanged.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import VmcsError
+
+
+@dataclass(frozen=True)
+class Field:
+    """Metadata for one VMCS field."""
+
+    name: str
+    category: str              # "guest", "host", "control", "exit", "svt"
+    address_bearing: bool = False
+    shadow_read: bool = False
+    shadow_write: bool = False
+    writable: bool = True
+
+
+def _build_fields():
+    fields = []
+
+    def f(*args, **kwargs):
+        fields.append(Field(*args, **kwargs))
+
+    # Guest-state area: loaded/saved on VM entry/exit.  Register state is
+    # shadow-accessible on recent Intel parts.
+    for reg in ("rip", "rsp", "rflags", "cr0", "cr3", "cr4", "efer"):
+        f(f"guest_{reg}", "guest", shadow_read=True, shadow_write=True)
+    f("guest_activity_state", "guest", shadow_read=True, shadow_write=True)
+    f("guest_interruptibility", "guest", shadow_read=True, shadow_write=True)
+
+    # Host-state area: where the hypervisor resumes on a trap.
+    for reg in ("rip", "rsp", "cr3"):
+        f(f"host_{reg}", "host")
+
+    # Execution controls.  Address-bearing controls point at structures in
+    # (host- or guest-) physical memory and are never shadow-writable.
+    f("pin_based_controls", "control")
+    f("proc_based_controls", "control")
+    f("secondary_controls", "control")
+    f("exception_bitmap", "control")
+    f("exit_controls", "control")
+    f("entry_controls", "control")
+    f("entry_interruption_info", "control")   # event injection
+    f("tsc_offset", "control")
+    f("preemption_timer_value", "control", shadow_read=True,
+      shadow_write=True)
+    f("msr_bitmap_addr", "control", address_bearing=True)
+    f("io_bitmap_addr", "control", address_bearing=True)
+    f("ept_pointer", "control", address_bearing=True)
+    f("virtual_apic_addr", "control", address_bearing=True)
+    f("vmcs_link_pointer", "control", address_bearing=True)
+
+    # Exit-information area: read-only to software, shadow-readable.
+    f("exit_reason", "exit", shadow_read=True, writable=False)
+    f("exit_qualification", "exit", shadow_read=True, writable=False)
+    f("guest_linear_address", "exit", shadow_read=True, writable=False)
+    f("guest_physical_address", "exit", shadow_read=True, writable=False)
+    f("instruction_length", "exit", shadow_read=True, writable=False)
+    f("interruption_info", "exit", shadow_read=True, writable=False)
+
+    # SVt additions (paper Table 2): target contexts for trap/resume
+    # steering and nested cross-context register access.
+    f("svt_visor", "svt")
+    f("svt_vm", "svt")
+    f("svt_nested", "svt")
+
+    return {fld.name: fld for fld in fields}
+
+
+class FieldRegistry:
+    """The (singleton) set of known VMCS fields."""
+
+    FIELDS = _build_fields()
+
+    @classmethod
+    def get(cls, name):
+        try:
+            return cls.FIELDS[name]
+        except KeyError:
+            raise VmcsError(f"unknown VMCS field {name!r}") from None
+
+    @classmethod
+    def names(cls, category=None, address_bearing=None):
+        out = []
+        for fld in cls.FIELDS.values():
+            if category is not None and fld.category != category:
+                continue
+            if (address_bearing is not None
+                    and fld.address_bearing != address_bearing):
+                continue
+            out.append(fld.name)
+        return out
+
+
+class Vmcs:
+    """One VM state descriptor.
+
+    Naming follows the paper: ``vmcs01`` is managed by L0 and represents
+    L1; ``vmcs01'`` is L1's own descriptor for L2; ``vmcs12`` is L0's
+    shadow of vmcs01'; ``vmcs02`` is what L0 actually runs L2 on.
+
+    The descriptor does **not** hold the whole VM context (paper §2.1) —
+    register state beyond the fields above lives in the hardware context
+    or hypervisor memory.
+    """
+
+    def __init__(self, name, exit_on_write_callback=None):
+        self.name = name
+        self._values = {}
+        self._dirty = set()
+        self.loaded = False
+        # When set, reads/writes of non-shadowed fields invoke this
+        # callback — that is how an L1 access to vmcs01' traps into L0
+        # (paper Alg. 1 lines 8-10).
+        self._trap_callback = exit_on_write_callback
+        # Software-configured trap sets (paper §3.1: "Intel uses various
+        # VMCS fields to identify which registers will trap").
+        self.trapped_msrs = set()
+        self.trapped_io_ports = set()
+        self.force_tsc_exit = False
+        # The EPT hierarchy this descriptor runs its guest on.  Kept as an
+        # object reference alongside the numeric ept_pointer field: the
+        # simulator needs the structure, the transform code the address.
+        self.ept = None
+
+    # -- raw access (no shadow semantics; used by the owning hypervisor) --
+
+    def read(self, field_name):
+        FieldRegistry.get(field_name)
+        return self._values.get(field_name, 0)
+
+    def write(self, field_name, value, force=False):
+        fld = FieldRegistry.get(field_name)
+        if not fld.writable and not force:
+            raise VmcsError(f"field {field_name} is read-only to software")
+        self._values[field_name] = value
+        self._dirty.add(field_name)
+
+    # -- shadowed access (used by a guest hypervisor on its own VMCS) -----
+
+    def guest_read(self, field_name):
+        """Read as a *virtualized* hypervisor: shadow-readable fields are
+        served from the shadow copy; others trap to the supervising
+        hypervisor first (cost and bookkeeping via the callback)."""
+        fld = FieldRegistry.get(field_name)
+        if not fld.shadow_read and self._trap_callback is not None:
+            self._trap_callback("VMREAD", field_name)
+        return self.read(field_name)
+
+    def guest_write(self, field_name, value):
+        """Write as a virtualized hypervisor (see :meth:`guest_read`)."""
+        fld = FieldRegistry.get(field_name)
+        if not fld.shadow_write and self._trap_callback is not None:
+            self._trap_callback("VMWRITE", field_name)
+        self.write(field_name, value, force=not fld.writable)
+
+    # -- dirty tracking (drives transformation cost accounting) -----------
+
+    def take_dirty(self):
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    @property
+    def dirty_fields(self):
+        return frozenset(self._dirty)
+
+    # -- exit info plumbing -------------------------------------------------
+
+    def record_exit(self, exit_info):
+        """Hardware writing the exit-information area on a VM trap."""
+        self.write("exit_reason", exit_info.reason, force=True)
+        self.write("exit_qualification",
+                   dict(exit_info.qualification), force=True)
+        self.write("guest_rip", exit_info.guest_rip)
+        self.write("instruction_length",
+                   exit_info.instruction_length, force=True)
+
+    def snapshot(self):
+        return dict(self._values)
+
+    def __repr__(self):
+        return f"Vmcs({self.name!r}, {len(self._values)} fields set)"

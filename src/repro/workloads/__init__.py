@@ -1,0 +1,39 @@
+"""Workload models reproducing the paper's evaluation (§6).
+
+One module per benchmark family:
+
+* `repro.workloads.cpuid` — the cpuid microbenchmark (Table 1, Fig. 6)
+* `repro.workloads.netperf` — TCP RR / STREAM over virtio-net (Fig. 7)
+* `repro.workloads.disk` — ioping / fio over virtio-blk (Fig. 7)
+* `repro.workloads.memcached` — key-value store under load (Fig. 8)
+* `repro.workloads.tpcc` — TPC-C + PostgreSQL proxy (Fig. 9)
+* `repro.workloads.video` — soft-realtime playback (Fig. 10)
+* `repro.workloads.channels` — wait-mechanism microbenchmarks (§6.1)
+
+Each module exposes ``run(mode=...)`` returning a result dataclass and a
+``PAPER`` constant with the numbers the paper reports, so benchmarks can
+print measured-vs-paper rows.
+"""
+
+from repro.workloads import (
+    channels,
+    cpuid,
+    disk,
+    memcached,
+    netperf,
+    tpcc,
+    video,
+)
+from repro.workloads.base import ModeComparison, compare_modes
+
+__all__ = [
+    "ModeComparison",
+    "channels",
+    "compare_modes",
+    "cpuid",
+    "disk",
+    "memcached",
+    "netperf",
+    "tpcc",
+    "video",
+]

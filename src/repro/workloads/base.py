@@ -1,0 +1,46 @@
+"""Shared workload helpers."""
+
+from dataclasses import dataclass, field
+
+from repro.core.mode import ExecutionMode
+
+
+@dataclass
+class ModeComparison:
+    """A metric measured in every execution mode, plus derived speedups.
+
+    ``higher_is_better`` controls the speedup direction (bandwidths vs
+    latencies)."""
+
+    metric: str
+    unit: str
+    higher_is_better: bool
+    values: dict = field(default_factory=dict)
+
+    def speedup(self, mode):
+        """Improvement of ``mode`` over the baseline, as the paper
+        reports it (>1 is better)."""
+        base = self.values[ExecutionMode.BASELINE]
+        value = self.values[mode]
+        if self.higher_is_better:
+            return value / base
+        return base / value
+
+    def row(self):
+        """(baseline value, SW speedup, HW speedup) — one Fig. 7 group."""
+        return (
+            self.values[ExecutionMode.BASELINE],
+            self.speedup(ExecutionMode.SW_SVT),
+            self.speedup(ExecutionMode.HW_SVT),
+        )
+
+
+def compare_modes(run_fn, metric, unit, higher_is_better=False,
+                  modes=ExecutionMode.ALL, **kwargs):
+    """Run ``run_fn(mode=..., **kwargs)`` for every mode and collect the
+    returned metric value into a :class:`ModeComparison`."""
+    comparison = ModeComparison(metric=metric, unit=unit,
+                                higher_is_better=higher_is_better)
+    for mode in modes:
+        comparison.values[mode] = run_fn(mode=mode, **kwargs)
+    return comparison

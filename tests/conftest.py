@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cpu.costs import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(keep_events=True)
+
+
+@pytest.fixture
+def costs():
+    return CostModel()

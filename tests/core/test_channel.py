@@ -1,0 +1,110 @@
+"""SW SVt command rings: FIFO, bounds, trap/resume protocol."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.channel import (
+    Command,
+    CommandKind,
+    CommandRing,
+    PairedChannels,
+)
+from repro.errors import ChannelError
+
+
+def test_unknown_command_kind_rejected():
+    with pytest.raises(ChannelError):
+        Command("CMD_WARP")
+
+
+def test_ring_fifo_order():
+    ring = CommandRing("r")
+    ring.push(Command(CommandKind.VM_TRAP, {"n": 1}))
+    ring.push(Command(CommandKind.VM_TRAP, {"n": 2}))
+    assert ring.pop().payload["n"] == 1
+    assert ring.pop().payload["n"] == 2
+
+
+def test_ring_capacity_enforced():
+    ring = CommandRing("r", capacity=2)
+    ring.push(Command(CommandKind.VM_TRAP))
+    ring.push(Command(CommandKind.VM_TRAP))
+    with pytest.raises(ChannelError):
+        ring.push(Command(CommandKind.VM_TRAP))
+
+
+def test_pop_empty_rejected():
+    with pytest.raises(ChannelError):
+        CommandRing("r").pop()
+
+
+def test_sequence_numbers_monotonic():
+    ring = CommandRing("r")
+    seqs = [ring.push(Command(CommandKind.VM_TRAP)) for _ in range(5)]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 5
+
+
+def test_occupancy_stats():
+    ring = CommandRing("r")
+    ring.push(Command(CommandKind.VM_TRAP))
+    ring.push(Command(CommandKind.VM_TRAP))
+    ring.pop()
+    assert ring.occupancy == 1
+    assert ring.max_occupancy == 2
+    ring.check_invariants()
+
+
+def test_paired_alternation_enforced():
+    channels = PairedChannels("vcpu0")
+    channels.send_trap({"r": 1})
+    with pytest.raises(ChannelError):
+        channels.send_trap({"r": 2})   # previous trap not resumed
+
+
+def test_resume_without_trap_rejected():
+    with pytest.raises(ChannelError):
+        PairedChannels("vcpu0").send_resume({})
+
+
+def test_full_round_trip():
+    channels = PairedChannels("vcpu0")
+    channels.send_trap({"exit_reason": "CPUID"})
+    request = channels.take_request()
+    assert request.kind == CommandKind.VM_TRAP
+    channels.send_resume({"regs": {"rax": 1}})
+    response = channels.take_response()
+    assert response.kind == CommandKind.VM_RESUME
+    assert channels.round_trips == 1
+    assert channels.in_flight == 0
+    channels.check_invariants()
+
+
+def test_blocked_response_does_not_complete_exchange():
+    # §5.3: SVT_BLOCKED lets L0 service interrupts; the trap stays open.
+    channels = PairedChannels("vcpu0")
+    channels.send_trap({})
+    channels.take_request()
+    channels.response.push(Command(CommandKind.BLOCKED))
+    blocked = channels.take_response()
+    assert blocked.kind == CommandKind.BLOCKED
+    assert channels.in_flight == 1
+    channels.send_resume({"regs": {}})
+    assert channels.take_response().kind == CommandKind.VM_RESUME
+    assert channels.in_flight == 0
+
+
+@given(st.lists(st.integers(0, 1_000_000), max_size=60))
+def test_property_ring_preserves_payload_order(values):
+    ring = CommandRing("r", capacity=64)
+    for v in values:
+        ring.push(Command(CommandKind.VM_TRAP, {"v": v}))
+    ring.check_invariants()
+    out = [ring.pop().payload["v"] for _ in values]
+    assert out == values
+    ring.check_invariants()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ChannelError):
+        CommandRing("r", capacity=0)

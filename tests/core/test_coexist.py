@@ -1,0 +1,80 @@
+"""SVt/SMT coexistence model (paper §3.3)."""
+
+import pytest
+
+from repro.core.coexist import (
+    CoexistConfig,
+    DynamicPolicy,
+    baseline_trap_cost_ns,
+    crossover_trap_rate,
+    svt_trap_cost_ns,
+    useful_throughput,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def config():
+    return CoexistConfig()
+
+
+def test_trap_costs_match_fig6_anchors(config):
+    assert baseline_trap_cost_ns(config.costs) == 10_400
+    assert svt_trap_cost_ns(config.costs) == pytest.approx(5360, abs=20)
+
+
+def test_no_traps_smt_wins(config):
+    assert useful_throughput(config, "smt", 0) == config.smt_yield
+    assert useful_throughput(config, "svt", 0) == 1.0
+
+
+def test_heavy_traps_svt_wins(config):
+    rate = 80_000
+    assert useful_throughput(config, "svt", rate) \
+        > useful_throughput(config, "smt", rate)
+
+
+def test_crossover_is_consistent(config):
+    rate = crossover_trap_rate(config)
+    below = rate * 0.9
+    above = rate * 1.1
+    assert useful_throughput(config, "smt", below) \
+        > useful_throughput(config, "svt", below)
+    assert useful_throughput(config, "svt", above) \
+        > useful_throughput(config, "smt", above)
+
+
+def test_crossover_moves_with_smt_yield():
+    low = crossover_trap_rate(CoexistConfig(smt_yield=1.1))
+    high = crossover_trap_rate(CoexistConfig(smt_yield=1.4))
+    assert low < high   # better SMT takes more traps to displace
+
+
+def test_throughput_never_negative(config):
+    assert useful_throughput(config, "smt", 10**9) == 0.0
+
+
+def test_invalid_inputs(config):
+    with pytest.raises(ConfigError):
+        useful_throughput(config, "warp", 0)
+    with pytest.raises(ConfigError):
+        useful_throughput(config, "smt", -1)
+    with pytest.raises(ConfigError):
+        CoexistConfig(smt_yield=0.9)
+
+
+def test_dynamic_policy_dominates_static_fleets(config):
+    policy = DynamicPolicy(config)
+    rates = [0, 500, 5_000, 20_000, 40_000, 60_000, 90_000, 120_000]
+    totals = policy.fleet_throughput(rates)
+    assert totals["dynamic"] >= totals["all_smt"]
+    assert totals["dynamic"] >= totals["all_svt"]
+    assert totals["dynamic"] > max(totals["all_smt"], totals["all_svt"])
+
+
+def test_policy_counts_flips(config):
+    policy = DynamicPolicy(config)
+    policy.choose(0, 0)          # smt
+    policy.choose(0, 100_000)    # svt -> flip
+    policy.choose(0, 100_000)    # stays
+    assert policy.flips == 1

@@ -1,0 +1,67 @@
+"""Fleets of independent stacks."""
+
+import pytest
+
+from repro.core.fleet import Fleet
+from repro.core.mode import ExecutionMode
+from repro.cpu import isa
+from repro.errors import ConfigError
+
+
+def cpuid_batch(n):
+    return [isa.Program([isa.cpuid()], repeat=4) for _ in range(n)]
+
+
+def test_fleet_needs_machines():
+    with pytest.raises(ConfigError):
+        Fleet(0)
+
+
+def test_dispatch_balances_load():
+    fleet = Fleet(2)
+    fleet.run_batch(cpuid_batch(6))
+    assert fleet.dispatched == [3, 3]
+
+
+def test_least_loaded_prefers_idle_machine():
+    fleet = Fleet(2)
+    fleet.machines[0].elapse(1_000_000)
+    assert fleet.least_loaded() == 1
+
+
+def test_batch_result_accounting():
+    fleet = Fleet(2)
+    result = fleet.run_batch(cpuid_batch(4))
+    assert result.programs == 4
+    assert result.total_exits == 16     # 4 programs x 4 cpuids
+    assert result.total_busy_ns > result.makespan_ns  # 2 machines worked
+    assert 1.0 < result.utilization <= 2.0
+
+
+def test_fleet_scales_throughput():
+    # Same batch, twice the machines -> about half the makespan.
+    small = Fleet(1).run_batch(cpuid_batch(8))
+    large = Fleet(4).run_batch(cpuid_batch(8))
+    assert large.makespan_ns < small.makespan_ns / 2 + 100_000
+
+
+def test_svt_fleet_faster_than_baseline_fleet():
+    base = Fleet(2, mode=ExecutionMode.BASELINE).run_batch(cpuid_batch(6))
+    svt = Fleet(2, mode=ExecutionMode.HW_SVT).run_batch(cpuid_batch(6))
+    assert svt.makespan_ns < base.makespan_ns
+
+
+def test_merged_tracer_covers_all_machines():
+    fleet = Fleet(2)
+    fleet.run_batch(cpuid_batch(2))
+    from repro.sim.trace import Category
+
+    merged = fleet.merged_tracer()
+    per_op = fleet.machines[0].costs.switch_l2_l0
+    assert merged.totals[Category.SWITCH_L2_L0] == per_op * 8
+
+
+def test_machines_are_isolated():
+    fleet = Fleet(2)
+    fleet.machines[0].run_instruction(isa.cpuid())
+    assert fleet.machines[1].sim.now == 0

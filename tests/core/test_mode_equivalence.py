@@ -1,0 +1,93 @@
+"""Property: SVt is *transparent* — all modes compute identical state.
+
+Paper §3: "An end-user VM can transparently benefit from SVt ...
+virtualization providers cannot expect their clients to change the OS of
+every VM they deploy."  Concretely: for ANY guest program, the baseline,
+SW SVt, HW SVt — and the §3.1 bypass extension — must leave the L2 vCPU
+in exactly the same architectural state; only elapsed time may differ.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bypass import install_bypass
+from repro.core.mode import ExecutionMode
+from repro.core.system import Machine
+from repro.cpu import isa
+from repro.cpu.registers import RegNames
+from repro.virt.hypervisor import MSR_APIC_EOI, MSR_TSC_DEADLINE
+
+OBSERVED = ("rax", "rbx", "rcx", "rdx", "rip")
+
+#: Instruction generators covering every trap class that mutates state.
+_instructions = st.one_of(
+    st.builds(isa.cpuid, leaf=st.integers(0, 31)),
+    st.builds(isa.alu, st.integers(1, 5000)),
+    st.builds(isa.wrmsr, st.just(MSR_TSC_DEADLINE),
+              st.integers(1, 2**31)),
+    st.builds(isa.wrmsr, st.just(MSR_APIC_EOI), st.just(0)),
+    st.builds(isa.wrmsr, st.integers(0x100, 0x120),
+              st.integers(0, 2**32)),       # untrapped MSRs
+    st.builds(isa.rdmsr, st.integers(0x100, 0x120)),
+    st.builds(isa.vmcall, number=st.integers(0, 3)),
+    st.builds(isa.hlt),
+    st.builds(isa.mmio_read,
+              st.integers(0x0400_0000, 0x0400_4000).map(lambda a: a & ~0xFFF)),
+)
+
+
+def _final_state(machine, program):
+    for instruction in program:
+        machine.run_instruction(instruction)
+        machine.l2_vm.vcpu.halted = False
+    vcpu = machine.l2_vm.vcpu
+    state = {name: vcpu.read(name) for name in OBSERVED}
+    state["msrs"] = dict(vcpu.msrs)
+    return state
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_instructions, min_size=1, max_size=25))
+def test_all_modes_produce_identical_guest_state(program):
+    states = []
+    times = []
+    for mode in ExecutionMode.ALL:
+        machine = Machine(mode=mode)
+        start = machine.sim.now      # exclude boot-time steering
+        states.append(_final_state(machine, program))
+        times.append(machine.sim.now - start)
+    # The bypass extension must be equally transparent.
+    bypass = Machine(mode=ExecutionMode.HW_SVT)
+    install_bypass(bypass)
+    states.append(_final_state(bypass, program))
+
+    first = states[0]
+    for other in states[1:]:
+        assert other == first
+    # Timing is the only thing allowed to differ — and must be ordered
+    # whenever the program trapped at all.
+    if any(i.kind != "alu" for i in program):
+        base, sw, hw = times
+        assert hw <= sw <= base
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_instructions, min_size=1, max_size=15),
+       st.sampled_from(ExecutionMode.ALL))
+def test_single_running_context_invariant_under_fuzz(program, mode):
+    machine = Machine(mode=mode)
+    for instruction in program:
+        machine.run_instruction(instruction)
+        machine.l2_vm.vcpu.halted = False
+        machine.core.check_single_running()
+    machine.core.prf.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_instructions, min_size=1, max_size=15))
+def test_runs_are_deterministic(program):
+    def run_once():
+        machine = Machine(mode=ExecutionMode.SW_SVT)
+        state = _final_state(machine, program)
+        return state, machine.sim.now
+
+    assert run_once() == run_once()

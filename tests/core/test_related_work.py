@@ -1,0 +1,84 @@
+"""Related-work comparison models (paper §7)."""
+
+import pytest
+
+from repro.core.related_work import (
+    AlternativeResult,
+    IoOpShape,
+    evaluate,
+    speedup_table,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def results():
+    return evaluate()
+
+
+def test_every_alternative_present(results):
+    assert set(results) == {"baseline", "svt", "sriov", "sidecore", "eli"}
+
+
+def test_everything_beats_baseline(results):
+    base = results["baseline"].op_ns
+    for name, result in results.items():
+        if name != "baseline":
+            assert result.op_ns < base, name
+
+
+def test_sriov_fastest_on_device_heavy_ops():
+    # When device exits dominate, SR-IOV's elimination wins on raw speed.
+    shape = IoOpShape(device_exits=8, interrupt_exits=1, other_exits=0)
+    results = evaluate(shape)
+    assert results["sriov"].op_ns <= min(
+        r.op_ns for n, r in results.items() if n != "sriov"
+    )
+
+
+def test_svt_wins_when_exit_mix_is_broad():
+    # SVt is the only accelerator covering *every* exit class; with a
+    # broad mix it beats the partial-coverage alternatives.
+    shape = IoOpShape(device_exits=1, interrupt_exits=1, other_exits=5)
+    results = evaluate(shape)
+    assert results["svt"].op_ns < results["sriov"].op_ns
+    assert results["svt"].op_ns < results["eli"].op_ns
+    assert results["svt"].op_ns < results["sidecore"].op_ns
+
+
+def test_capability_axes_match_the_paper(results):
+    # §7: SR-IOV conflicts with live migration and interposition.
+    assert not results["sriov"].capabilities.live_migration
+    assert not results["sriov"].capabilities.interposition
+    # Side-cores reserve cores and cover only known-in-advance exits.
+    assert results["sidecore"].capabilities.needs_spare_core
+    assert not results["sidecore"].capabilities.covers_all_exits
+    # SVt keeps every capability.
+    svt = results["svt"].capabilities
+    assert svt.live_migration and svt.interposition
+    assert svt.scales_with_vms and svt.covers_all_exits
+    assert not svt.needs_spare_core
+
+
+def test_speedup_table_sorted_and_annotated():
+    rows = speedup_table()
+    times = [row[1] for row in rows]
+    assert times == sorted(times)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["baseline"][2] == pytest.approx(1.0)
+    assert "no live migration" in by_name["sriov"][3]
+    assert by_name["svt"][3] == "none"
+
+
+def test_sidecore_latency_depends_on_hop_cost():
+    near = evaluate(sidecore_hop_ns=100)["sidecore"].op_ns
+    far = evaluate(sidecore_hop_ns=2000)["sidecore"].op_ns
+    assert far > near
+
+
+def test_unknown_mode_rejected():
+    from repro.core.related_work import _reflected_exit_ns
+    from repro.cpu.costs import CostModel
+
+    with pytest.raises(ConfigError):
+        _reflected_exit_ns(CostModel(), "quantum")

@@ -1,0 +1,95 @@
+"""§3.4 security property: zero cross-domain co-residency under SVt."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mode import ExecutionMode
+from repro.core.security import (
+    CoResidencyAuditor,
+    audit_machine_run,
+    smt_coscheduling_exposure,
+)
+from repro.core.system import Machine
+from repro.cpu import isa
+from repro.errors import ConfigError
+
+
+def test_auditor_detects_smt_style_overlap():
+    auditor = CoResidencyAuditor(2)
+    auditor.start(0, "tenant-A")
+    auditor.start(1, "tenant-B")      # co-scheduled!
+    auditor.advance(1_000)
+    auditor.stop(0)
+    auditor.stop(1)
+    assert auditor.cross_domain_coresidency_ns() == 1_000
+    assert not auditor.is_svt_safe()
+
+
+def test_auditor_ignores_same_domain_overlap():
+    auditor = CoResidencyAuditor(2)
+    auditor.start(0, "tenant-A")
+    auditor.start(1, "tenant-A")
+    auditor.advance(500)
+    auditor.stop(0)
+    auditor.stop(1)
+    assert auditor.is_svt_safe()
+
+
+def test_sequential_domains_are_safe():
+    auditor = CoResidencyAuditor(1)
+    auditor.start(0, "A")
+    auditor.advance(100)
+    auditor.stop(0)
+    auditor.start(0, "B")
+    auditor.advance(100)
+    auditor.stop(0)
+    assert auditor.is_svt_safe()
+
+
+def test_open_intervals_count_up_to_now():
+    auditor = CoResidencyAuditor(2)
+    auditor.start(0, "A")
+    auditor.start(1, "B")
+    auditor.advance(700)
+    assert auditor.cross_domain_coresidency_ns() == 700
+
+
+def test_auditor_validates_usage():
+    auditor = CoResidencyAuditor(1)
+    with pytest.raises(ConfigError):
+        auditor.stop(0)
+    auditor.start(0, "A")
+    with pytest.raises(ConfigError):
+        auditor.start(0, "A")
+    with pytest.raises(ConfigError):
+        auditor.advance(-1)
+    with pytest.raises(ConfigError):
+        CoResidencyAuditor(0)
+
+
+def test_hw_svt_machine_has_zero_coresidency():
+    machine = Machine(mode=ExecutionMode.HW_SVT)
+    program = isa.Program([isa.cpuid(), isa.alu(500)], repeat=10)
+    auditor = audit_machine_run(machine, program)
+    assert auditor.is_svt_safe()
+    # ...and the run really did bounce across domains.
+    domains = {i.domain for i in auditor._all_intervals()}
+    assert len(domains) >= 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(
+    st.one_of(st.builds(isa.cpuid, leaf=st.integers(0, 7)),
+              st.builds(isa.alu, st.integers(1, 1000))),
+    min_size=1, max_size=12,
+))
+def test_property_svt_never_coexecutes_domains(program):
+    machine = Machine(mode=ExecutionMode.HW_SVT)
+    auditor = audit_machine_run(machine, isa.Program(program))
+    assert auditor.is_svt_safe()
+
+
+def test_smt_exposure_for_contrast():
+    assert smt_coscheduling_exposure(5_000, 3_000) == 3_000
+    with pytest.raises(ConfigError):
+        smt_coscheduling_exposure(-1, 0)

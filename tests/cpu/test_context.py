@@ -1,0 +1,57 @@
+"""Hardware contexts: state lifecycle and register plumbing."""
+
+import pytest
+
+from repro.cpu.context import ContextState, HardwareContext
+from repro.cpu.prf import PhysicalRegisterFile
+from repro.cpu.registers import ArchRegisters
+from repro.errors import VirtualizationError
+
+
+@pytest.fixture
+def ctx():
+    return HardwareContext(0, PhysicalRegisterFile(128))
+
+
+def test_starts_idle(ctx):
+    assert ctx.state == ContextState.IDLE
+    assert ctx.owner_label is None
+
+
+def test_load_state_moves_to_stalled(ctx):
+    ctx.load_state(ArchRegisters({"rax": 3}), owner_label="L1")
+    assert ctx.state == ContextState.STALLED
+    assert ctx.owner_label == "L1"
+    assert ctx.read("rax") == 3
+
+
+def test_load_state_while_running_keeps_running(ctx):
+    ctx.set_state(ContextState.RUNNING)
+    ctx.load_state(ArchRegisters({"rax": 3}))
+    assert ctx.state == ContextState.RUNNING
+
+
+def test_extract_state_roundtrip(ctx):
+    snapshot = ArchRegisters({"rax": 1, "rip": 0x100})
+    ctx.load_state(snapshot)
+    assert ctx.extract_state() == snapshot
+
+
+def test_release_frees_prf(ctx):
+    prf = ctx.registers._prf
+    ctx.load_state(ArchRegisters({"rax": 1, "rbx": 2}))
+    assert prf.live_count == 2
+    ctx.release()
+    assert prf.live_count == 0
+    assert ctx.state == ContextState.IDLE
+
+
+def test_invalid_state_rejected(ctx):
+    with pytest.raises(VirtualizationError):
+        ctx.set_state("warp")
+
+
+def test_is_running(ctx):
+    assert not ctx.is_running
+    ctx.set_state(ContextState.RUNNING)
+    assert ctx.is_running

@@ -1,0 +1,102 @@
+"""Cost-model calibration anchors (paper Table 1, Fig. 6, §6.1)."""
+
+import pytest
+
+from repro.cpu.costs import CostModel
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cm():
+    return CostModel()
+
+
+def test_table1_total_is_10400_ns(cm):
+    # Paper Table 1: executing cpuid in a nested VM takes 10.40 us.
+    assert cm.table1_total() == 10_400
+
+
+def test_table1_part_values(cm):
+    # The published breakdown, part by part.
+    assert cm.cpuid_guest_work == 50                       # part 0
+    assert cm.switch_l2_l0 == 810                          # part 1
+    assert cm.vmcs_transform == 1290                       # part 2
+    assert cm.l0_pure("CPUID") + cm.l0_lazy_switch == 4890  # part 3
+    assert cm.switch_l0_l1 == 1400                         # part 4
+    assert cm.l1_pure("CPUID") + cm.l1_lazy_switch == 1960  # part 5
+
+
+def test_hw_svt_cpuid_prediction(cm):
+    # HW SVt keeps transforms and pure handler work, pays 4 stall/resume.
+    predicted = (
+        cm.cpuid_guest_work
+        + 4 * cm.svt_stall_resume
+        + cm.vmcs_transform
+        + cm.l0_pure("CPUID")
+        + cm.l1_pure("CPUID")
+    )
+    speedup = cm.table1_total() / predicted
+    assert speedup == pytest.approx(1.94, abs=0.02)  # paper Fig. 6
+
+
+def test_sw_svt_cpuid_prediction(cm):
+    # SW SVt drops the L0<->L1 switch and L1's lazy share, pays 2 hops.
+    predicted = (
+        cm.table1_total()
+        - cm.switch_l0_l1
+        - cm.l1_lazy_switch
+        + 2 * cm.channel_one_way("smt", "mwait")
+    )
+    speedup = cm.table1_total() / predicted
+    assert speedup == pytest.approx(1.23, abs=0.01)  # paper §6.1
+
+
+def test_each_halves(cm):
+    assert cm.switch_l2_l0_each * 2 == cm.switch_l2_l0
+    assert cm.switch_l0_l1_each * 2 == cm.switch_l0_l1
+    assert cm.vmcs_transform_each * 2 == cm.vmcs_transform
+
+
+def test_handler_lookup_falls_back_to_default(cm):
+    assert cm.l0_pure("NO_SUCH_REASON") == cm.l0_handler_default
+    assert cm.l1_pure("NO_SUCH_REASON") == cm.l1_handler_default
+    assert cm.l0_single("NO_SUCH_REASON") == cm.l0_single_default
+
+
+def test_channel_one_way_components(cm):
+    expected = (cm.cacheline_transfer_smt + cm.channel_payload_ns()
+                + cm.mwait_wake)
+    assert cm.channel_one_way("smt", "mwait") == expected
+
+
+def test_channel_mechanisms_ordered_for_small_payloads(cm):
+    polling = cm.channel_one_way("smt", "polling")
+    mwait = cm.channel_one_way("smt", "mwait")
+    mutex = cm.channel_one_way("smt", "mutex")
+    assert polling < mwait < mutex
+
+
+def test_placement_latency_ordering(cm):
+    # §6.1: cross-NUMA is "up to an order of magnitude longer".
+    assert cm.cacheline_transfer("smt") < cm.cacheline_transfer("core")
+    assert cm.cacheline_transfer("numa") >= 8 * cm.cacheline_transfer("smt")
+
+
+def test_unknown_placement_and_mechanism_rejected(cm):
+    with pytest.raises(ConfigError):
+        cm.cacheline_transfer("rack")
+    with pytest.raises(ConfigError):
+        cm.channel_one_way("smt", "semaphore")
+
+
+def test_with_overrides_returns_new_model(cm):
+    tweaked = cm.with_overrides(switch_l0_l1=2000)
+    assert tweaked.switch_l0_l1 == 2000
+    assert cm.switch_l0_l1 == 1400
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigError):
+        CostModel(switch_l2_l0=-1)
+    with pytest.raises(ConfigError):
+        CostModel(poll_smt_interference=1.5)

@@ -1,0 +1,112 @@
+"""Interrupt controller: delivery, redirect rule, TSC-deadline timer."""
+
+import pytest
+
+from repro.cpu.costs import CostModel
+from repro.cpu.interrupts import InterruptController, Vectors
+from repro.errors import VirtualizationError
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    return sim, InterruptController(sim, 3, CostModel())
+
+
+def test_immediate_delivery(setup):
+    sim, ic = setup
+    ic.raise_external(1, Vectors.NET_RX)
+    assert ic.has_pending(1)
+    vector, raised_at = ic.ack(1)
+    assert vector == Vectors.NET_RX
+    assert raised_at == 0
+    assert not ic.has_pending(1)
+
+
+def test_delayed_delivery(setup):
+    sim, ic = setup
+    ic.raise_external(0, Vectors.TIMER, delay=500)
+    assert not ic.has_pending(0)
+    sim.advance(500)
+    assert ic.has_pending(0)
+
+
+def test_fifo_order(setup):
+    sim, ic = setup
+    ic.raise_external(0, 10)
+    ic.raise_external(0, 11)
+    assert ic.ack(0)[0] == 10
+    assert ic.ack(0)[0] == 11
+
+
+def test_ack_empty_rejected(setup):
+    _, ic = setup
+    with pytest.raises(VirtualizationError):
+        ic.ack(0)
+
+
+def test_unknown_context_rejected(setup):
+    _, ic = setup
+    with pytest.raises(VirtualizationError):
+        ic.raise_external(7, 1)
+
+
+def test_svt_redirect_rule(setup):
+    # Paper §3.1: all external interrupts land on L0's context.
+    sim, ic = setup
+    ic.redirect_all_to(0)
+    ic.raise_external(2, Vectors.BLOCK)
+    assert ic.has_pending(0)
+    assert not ic.has_pending(2)
+
+
+def test_redirect_cleared(setup):
+    sim, ic = setup
+    ic.redirect_all_to(0)
+    ic.clear_redirect()
+    ic.raise_external(2, Vectors.BLOCK)
+    assert ic.has_pending(2)
+
+
+def test_ipi_not_redirected_and_costs_time(setup):
+    # IPIs name their destination explicitly — redirect must not touch them.
+    sim, ic = setup
+    ic.redirect_all_to(0)
+    ic.send_ipi(1, Vectors.IPI_TLB_SHOOTDOWN)
+    sim.run_until_idle()
+    assert ic.has_pending(1)
+    assert sim.now == CostModel().ipi_cost
+
+
+def test_tsc_deadline_fires_at_absolute_time(setup):
+    sim, ic = setup
+    sim.advance(100)
+    ic.arm_tsc_deadline(0, 1_000)
+    sim.run_until_idle()
+    assert sim.now == 1_000
+    assert ic.ack(0)[0] == Vectors.TIMER
+
+
+def test_tsc_deadline_in_past_fires_immediately(setup):
+    sim, ic = setup
+    sim.advance(2_000)
+    ic.arm_tsc_deadline(0, 1_000)
+    sim.run_until_idle()
+    assert ic.has_pending(0)
+    assert sim.now == 2_000
+
+
+def test_observers_notified(setup):
+    sim, ic = setup
+    seen = []
+    ic.add_observer(lambda ctx, vec: seen.append((ctx, vec)))
+    ic.raise_external(1, 42)
+    assert seen == [(1, 42)]
+
+
+def test_delivered_counter(setup):
+    sim, ic = setup
+    ic.raise_external(0, 1)
+    ic.raise_external(1, 2)
+    assert ic.delivered == 2

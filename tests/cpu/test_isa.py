@@ -1,0 +1,88 @@
+"""Instruction set and program containers."""
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.isa import Instruction, Op, Program
+from repro.errors import VirtualizationError
+
+
+def test_alu_builder():
+    instr = isa.alu(250)
+    assert instr.kind == Op.ALU
+    assert instr.work_ns == 250
+
+
+def test_negative_work_rejected():
+    with pytest.raises(VirtualizationError):
+        isa.alu(-1)
+
+
+def test_cpuid_carries_leaf():
+    assert isa.cpuid(leaf=7).operand("leaf") == 7
+
+
+def test_missing_operand_raises():
+    with pytest.raises(VirtualizationError):
+        isa.cpuid().operand("port")
+
+
+def test_wrmsr_operands():
+    instr = isa.wrmsr(0x6E0, 12345)
+    assert instr.operand("msr") == 0x6E0
+    assert instr.operand("value") == 12345
+
+
+def test_mmio_write_operands():
+    instr = isa.mmio_write(0xFE000000, 1)
+    assert instr.kind == Op.MMIO_WRITE
+    assert instr.operand("addr") == 0xFE000000
+
+
+def test_ctxt_instructions():
+    load = isa.ctxtld(1, "rax")
+    store = isa.ctxtst(2, "rbx", 9)
+    assert load.operand("lvl") == 1
+    assert store.operand("value") == 9
+
+
+def test_always_exiting_set_contains_vmx_and_cpuid():
+    assert Op.CPUID in Op.ALWAYS_EXITING
+    assert Op.VMRESUME in Op.ALWAYS_EXITING
+    assert Op.ALU not in Op.ALWAYS_EXITING
+    assert Op.WRMSR in Op.CONDITIONALLY_EXITING
+
+
+def test_program_repeats():
+    prog = Program([isa.alu(10), isa.cpuid()], repeat=3)
+    kinds = [i.kind for i in prog]
+    assert kinds == [Op.ALU, Op.CPUID] * 3
+    assert len(prog) == 6
+
+
+def test_program_is_reiterable():
+    prog = Program([isa.alu(1)], repeat=2)
+    assert len(list(prog)) == len(list(prog)) == 2
+
+
+def test_program_total_work():
+    prog = Program([isa.alu(10), isa.alu(5)], repeat=4)
+    assert prog.total_work_ns() == 60
+
+
+def test_program_repeat_must_be_positive():
+    with pytest.raises(VirtualizationError):
+        Program([isa.alu(1)], repeat=0)
+
+
+def test_instructions_are_immutable():
+    instr = isa.alu(5)
+    with pytest.raises(Exception):
+        instr.work_ns = 10
+
+
+def test_vmwrite_assignments_copied():
+    src = {"guest_rip": 5}
+    instr = isa.vmwrite(src)
+    src["guest_rip"] = 6
+    assert instr.operand("assignments")["guest_rip"] == 5

@@ -1,0 +1,139 @@
+"""Shared physical register file + rename maps: the SVt substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.prf import PhysicalRegisterFile, RenameMap
+from repro.cpu.registers import ArchRegisters, RegNames
+from repro.errors import PrfExhausted, VirtualizationError
+
+
+def test_prf_too_small_rejected():
+    with pytest.raises(VirtualizationError):
+        PhysicalRegisterFile(size=4)
+
+
+def test_alloc_release_cycle():
+    prf = PhysicalRegisterFile(64)
+    idx = prf.alloc()
+    assert prf.live_count == 1
+    prf.write(idx, 5)
+    assert prf.read(idx) == 5
+    prf.release(idx)
+    assert prf.live_count == 0
+    prf.check_invariants()
+
+
+def test_exhaustion_raises():
+    prf = PhysicalRegisterFile(64)
+    for _ in range(64):
+        prf.alloc()
+    with pytest.raises(PrfExhausted):
+        prf.alloc()
+
+
+def test_dead_register_access_rejected():
+    prf = PhysicalRegisterFile(64)
+    idx = prf.alloc()
+    prf.release(idx)
+    with pytest.raises(VirtualizationError):
+        prf.read(idx)
+    with pytest.raises(VirtualizationError):
+        prf.release(idx)
+
+
+def test_rename_write_allocates_fresh_physical_register():
+    prf = PhysicalRegisterFile(64)
+    rmap = RenameMap(prf)
+    rmap.write("rax", 1)
+    first = rmap.physical_index("rax")
+    rmap.write("rax", 2)
+    second = rmap.physical_index("rax")
+    assert first != second
+    assert rmap.read("rax") == 2
+    assert prf.live_count == 1  # old mapping retired
+
+
+def test_unmapped_register_reads_zero():
+    rmap = RenameMap(PhysicalRegisterFile(64))
+    assert rmap.read("r15") == 0
+
+
+def test_two_contexts_share_one_prf_without_interference():
+    prf = PhysicalRegisterFile(128)
+    ctx0, ctx1 = RenameMap(prf), RenameMap(prf)
+    ctx0.write("rax", 10)
+    ctx1.write("rax", 20)
+    assert ctx0.read("rax") == 10
+    assert ctx1.read("rax") == 20
+    # Distinct physical registers back the same architectural name.
+    assert ctx0.physical_index("rax") != ctx1.physical_index("rax")
+
+
+def test_cross_context_read_through_other_map():
+    # The SVt property: one context reads another's registers through the
+    # other's rename map — no memory involved.
+    prf = PhysicalRegisterFile(128)
+    vm_ctx = RenameMap(prf)
+    vm_ctx.write("rip", 0x4000)
+    hypervisor_view = vm_ctx.read("rip")
+    assert hypervisor_view == 0x4000
+
+
+def test_load_and_extract_snapshot_roundtrip():
+    prf = PhysicalRegisterFile(256)
+    rmap = RenameMap(prf)
+    snapshot = ArchRegisters({"rax": 1, "rsp": 0x7000, "cr3": 0x2000})
+    rmap.load_snapshot(snapshot)
+    assert rmap.extract_snapshot() == snapshot
+
+
+def test_clear_releases_everything():
+    prf = PhysicalRegisterFile(128)
+    rmap = RenameMap(prf)
+    for name in RegNames.GPRS:
+        rmap.write(name, 1)
+    rmap.clear()
+    assert prf.live_count == 0
+    assert rmap.mapped_names == frozenset()
+
+
+def test_unknown_register_name_rejected():
+    rmap = RenameMap(PhysicalRegisterFile(64))
+    with pytest.raises(VirtualizationError):
+        rmap.write("ymm3", 0)
+
+
+@settings(max_examples=60)
+@given(st.lists(
+    st.tuples(st.integers(0, 2),
+              st.sampled_from(RegNames.GPRS),
+              st.integers(0, 2**64 - 1)),
+    max_size=80,
+))
+def test_property_three_contexts_model_matches_dict(ops):
+    """Random interleaved writes from three contexts behave like three
+    independent dicts, and PRF/rename invariants hold throughout."""
+    prf = PhysicalRegisterFile(512)
+    maps = [RenameMap(prf) for _ in range(3)]
+    model = [{}, {}, {}]
+    for ctx, name, value in ops:
+        maps[ctx].write(name, value)
+        model[ctx][name] = value
+        prf.check_invariants()
+        maps[ctx].check_invariants()
+    for ctx in range(3):
+        for name in RegNames.GPRS:
+            assert maps[ctx].read(name) == model[ctx].get(name, 0)
+    # Live physical registers = total distinct mapped names.
+    assert prf.live_count == sum(len(m) for m in model)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from(RegNames.GPRS), min_size=1, max_size=40))
+def test_property_rename_maps_stay_injective(names):
+    prf = PhysicalRegisterFile(512)
+    rmap = RenameMap(prf)
+    for i, name in enumerate(names):
+        rmap.write(name, i)
+        rmap.check_invariants()

@@ -1,0 +1,71 @@
+"""Stateful property test: three contexts sharing one PRF under random
+write/clear/snapshot traffic — the SVt substrate under stress."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+import hypothesis.strategies as st
+
+from repro.cpu.prf import PhysicalRegisterFile, RenameMap
+from repro.cpu.registers import RegNames
+
+
+class SharedPrfMachine(RuleBasedStateMachine):
+    N_CONTEXTS = 3
+
+    def __init__(self):
+        super().__init__()
+        self.prf = PhysicalRegisterFile(512)
+        self.maps = [RenameMap(self.prf) for _ in range(self.N_CONTEXTS)]
+        self.model = [{} for _ in range(self.N_CONTEXTS)]
+
+    @rule(ctx=st.integers(0, N_CONTEXTS - 1),
+          name=st.sampled_from(RegNames.GPRS),
+          value=st.integers(0, 2**64 - 1))
+    def write(self, ctx, name, value):
+        self.maps[ctx].write(name, value)
+        self.model[ctx][name] = value
+
+    @rule(ctx=st.integers(0, N_CONTEXTS - 1),
+          name=st.sampled_from(RegNames.GPRS))
+    def read(self, ctx, name):
+        assert self.maps[ctx].read(name) == self.model[ctx].get(name, 0)
+
+    @rule(ctx=st.integers(0, N_CONTEXTS - 1))
+    def clear_context(self, ctx):
+        # Context teardown (VM destroyed / multiplexed out).
+        self.maps[ctx].clear()
+        self.model[ctx] = {}
+
+    @rule(ctx=st.integers(0, N_CONTEXTS - 1))
+    def snapshot_roundtrip(self, ctx):
+        snapshot = self.maps[ctx].extract_snapshot()
+        for name, value in self.model[ctx].items():
+            assert snapshot.read(name) == value
+
+    @invariant()
+    def prf_partitioned(self):
+        self.prf.check_invariants()
+        live = sum(len(m) for m in self.model)
+        assert self.prf.live_count == live
+
+    @invariant()
+    def maps_injective(self):
+        for rename_map in self.maps:
+            rename_map.check_invariants()
+
+    @invariant()
+    def contexts_isolated(self):
+        # No physical register backs two contexts at once.
+        backing = []
+        for rename_map in self.maps:
+            backing.extend(
+                rename_map.physical_index(name)
+                for name in rename_map.mapped_names
+            )
+        assert len(backing) == len(set(backing))
+
+
+TestSharedPrfStateful = SharedPrfMachine.TestCase
+TestSharedPrfStateful.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None,
+)

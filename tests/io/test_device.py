@@ -1,0 +1,53 @@
+"""MMIO device base behaviour."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.io.device import MmioDevice, REG_DOORBELL, REG_ISR, REG_STATUS
+
+
+class Recorder(MmioDevice):
+    def __init__(self):
+        super().__init__("rec", 0x1000)
+        self.kicks = []
+
+    def on_kick(self, queue_index):
+        self.kicks.append(queue_index)
+
+
+def test_doorbell_dispatches_kick():
+    device = Recorder()
+    device.mmio_write(0x1000 + REG_DOORBELL, 1)
+    assert device.kicks == [1]
+    assert device.doorbell_writes == 1
+
+
+def test_out_of_window_access_rejected():
+    device = Recorder()
+    with pytest.raises(VirtualizationError):
+        device.mmio_write(0x0, 1)
+    with pytest.raises(VirtualizationError):
+        device.mmio_read(0x2000)
+
+
+def test_status_reads_ok():
+    assert Recorder().mmio_read(0x1000 + REG_STATUS) == 0x1
+
+
+def test_isr_ack_on_read():
+    device = Recorder()
+    device.raise_isr()
+    assert device.mmio_read(0x1000 + REG_ISR) == 1
+    assert device.mmio_read(0x1000 + REG_ISR) == 0
+
+
+def test_non_doorbell_writes_ignored():
+    device = Recorder()
+    device.mmio_write(0x1000 + REG_STATUS, 5)
+    assert device.kicks == []
+
+
+def test_base_on_kick_abstract():
+    device = MmioDevice("base", 0x0)
+    with pytest.raises(NotImplementedError):
+        device.on_kick(0)

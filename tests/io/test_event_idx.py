@@ -1,0 +1,109 @@
+"""VIRTIO_RING_F_EVENT_IDX interrupt coalescing."""
+
+import pytest
+
+from repro import Machine
+from repro.cpu import isa
+from repro.errors import VirtualizationError
+from repro.io.block import BlkRequest, install_block
+from repro.io.virtio import VirtQueue
+from repro.virt.exits import ExitReason
+
+
+def drained(queue, n):
+    for i in range(n):
+        queue.add_buffer(i, 1)
+    for _ in range(n):
+        queue.push_used(queue.pop_avail())
+
+
+def test_disabled_event_idx_always_notifies():
+    queue = VirtQueue("q", 8)
+    drained(queue, 1)
+    assert queue.should_notify()
+    drained(queue, 1)
+    assert queue.should_notify()
+
+
+def test_suppressed_queue_never_notifies():
+    queue = VirtQueue("q", 8)
+    queue.interrupts_suppressed = True
+    drained(queue, 1)
+    assert not queue.should_notify()
+
+
+def test_event_idx_waits_for_threshold():
+    queue = VirtQueue("q", 16)
+    queue.enable_event_idx()
+    queue.set_used_event(3)
+    drained(queue, 1)
+    assert not queue.should_notify()
+    drained(queue, 1)
+    assert not queue.should_notify()
+    drained(queue, 1)
+    assert queue.should_notify()      # third completion crosses
+    drained(queue, 1)
+    assert not queue.should_notify()  # already notified for this event
+
+
+def test_event_idx_renotifies_after_new_threshold():
+    queue = VirtQueue("q", 16)
+    queue.enable_event_idx()
+    queue.set_used_event(1)
+    drained(queue, 1)
+    assert queue.should_notify()
+    queue.set_used_event(3)
+    drained(queue, 1)
+    assert not queue.should_notify()
+    drained(queue, 1)
+    assert queue.should_notify()
+
+
+def test_negative_used_event_rejected():
+    queue = VirtQueue("q", 8)
+    with pytest.raises(VirtualizationError):
+        queue.set_used_event(-1)
+
+
+def test_block_batch_with_event_idx_coalesces_interrupts():
+    machine = Machine()
+    blk = install_block(machine)
+    queue = blk.device.requests
+    queue.enable_event_idx()
+    batch = 4
+    queue.set_used_event(batch)       # one interrupt for the batch
+    for i in range(batch):
+        blk.device.queue_request(BlkRequest(i * 8, 512, False,
+                                            issued_at=machine.sim.now))
+    machine.run_instruction(isa.mmio_write(blk.device.doorbell_gpa, 0))
+    machine.wait_until(lambda: queue.completed >= batch)
+    machine.service_io()
+    # Exactly one completion interrupt reached L2 for four requests.
+    assert machine.stack.exit_counts[ExitReason.EXTERNAL_INTERRUPT] == 1
+
+
+def test_coalescing_reduces_exit_count_and_time():
+    def run(coalesce):
+        machine = Machine()
+        blk = install_block(machine)
+        if coalesce:
+            blk.device.requests.enable_event_idx()
+            blk.device.requests.set_used_event(4)
+        start = machine.sim.now
+        for i in range(4):
+            blk.device.queue_request(BlkRequest(i * 8, 512, False,
+                                                issued_at=start))
+        machine.run_instruction(
+            isa.mmio_write(blk.device.doorbell_gpa, 0)
+        )
+        machine.wait_until(
+            lambda: blk.device.requests.completed >= 4
+        )
+        machine.service_io()
+        return (machine.sim.now - start,
+                machine.stack.exit_counts[ExitReason.EXTERNAL_INTERRUPT])
+
+    plain_time, plain_irqs = run(coalesce=False)
+    coalesced_time, coalesced_irqs = run(coalesce=True)
+    assert coalesced_irqs < plain_irqs
+    assert coalesced_time < plain_time

@@ -1,0 +1,36 @@
+"""Device/fabric timing helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.io.fabric import DeviceTimings, serialization_ns
+
+
+def test_serialization_time():
+    # 10 Gbps = 0.8 ns per byte.
+    assert serialization_ns(1000, 10.0) == 800
+
+
+def test_serialization_rejects_bad_rate():
+    with pytest.raises(ConfigError):
+        serialization_ns(1, 0)
+
+
+def test_media_read_vs_write():
+    timings = DeviceTimings()
+    assert timings.media_ns(512, write=True) > timings.media_ns(
+        512, write=False
+    )
+
+
+def test_media_scales_with_size():
+    timings = DeviceTimings()
+    small = timings.media_ns(512, write=False)
+    large = timings.media_ns(512 + 10 * 1024, write=False)
+    assert large == small + 10 * timings.ramdisk_per_kb_ns
+
+
+def test_wire_includes_serialization():
+    timings = DeviceTimings()
+    assert timings.wire_ns(0) == timings.wire_one_way_ns
+    assert timings.wire_ns(12500) == timings.wire_one_way_ns + 10_000

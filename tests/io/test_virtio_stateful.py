@@ -1,0 +1,78 @@
+"""Stateful (rule-based) property test of the virtqueue.
+
+Hypothesis drives random interleavings of driver and device actions;
+the model checks FIFO completion order, exactly-once usage, and the
+structural invariants after every step.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.io.virtio import VirtQueue
+
+
+class VirtQueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = VirtQueue("fuzz", size=16)
+        self.next_payload = 0
+        self.model_avail = deque()      # payloads the device hasn't taken
+        self.model_inflight = deque()   # taken, not completed
+        self.model_used = deque()       # completed, not reaped
+        self.taken = {}                 # payload -> descriptor
+
+    @precondition(lambda self: (len(self.model_avail)
+                                + len(self.model_inflight)
+                                + len(self.model_used)) < 16)
+    @rule()
+    def driver_adds(self):
+        payload = self.next_payload
+        self.next_payload += 1
+        self.queue.add_buffer(payload, 64)
+        self.model_avail.append(payload)
+
+    @precondition(lambda self: self.model_avail)
+    @rule()
+    def device_takes(self):
+        descriptor = self.queue.pop_avail()
+        expected = self.model_avail.popleft()
+        assert descriptor.payload == expected
+        self.model_inflight.append(expected)
+        self.taken[expected] = descriptor
+
+    @precondition(lambda self: self.model_inflight)
+    @rule(length=st.integers(0, 64))
+    def device_completes(self, length):
+        payload = self.model_inflight.popleft()
+        self.queue.push_used(self.taken.pop(payload), used_length=length)
+        self.model_used.append(payload)
+
+    @precondition(lambda self: self.model_used)
+    @rule()
+    def driver_reaps(self):
+        descriptor = self.queue.reap_used()
+        assert descriptor.payload == self.model_used.popleft()
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.queue.check_invariants()
+
+    @invariant()
+    def counters_match_model(self):
+        assert self.queue.avail_count == len(self.model_avail)
+        assert self.queue.used_count == len(self.model_used)
+        assert self.queue.in_flight == len(self.model_inflight)
+
+
+TestVirtQueueStateful = VirtQueueMachine.TestCase
+TestVirtQueueStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None,
+)

@@ -1,0 +1,82 @@
+"""Deterministic RNG: reproducibility and distribution sanity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_stable_and_independent():
+    parent1 = DeterministicRng(42)
+    parent2 = DeterministicRng(42)
+    child1 = parent1.fork("arrivals")
+    child2 = parent2.fork("arrivals")
+    assert child1.seed == child2.seed
+    other = parent1.fork("service")
+    assert other.seed != child1.seed
+
+
+def test_fork_does_not_consume_parent_stream():
+    a = DeterministicRng(3)
+    b = DeterministicRng(3)
+    a.fork("x")
+    assert a.random() == b.random()
+
+
+def test_exponential_mean():
+    rng = DeterministicRng(11)
+    draws = [rng.exponential(100.0) for _ in range(20_000)]
+    assert sum(draws) / len(draws) == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        DeterministicRng().exponential(0)
+
+
+def test_lognormal_mean_is_calibrated():
+    rng = DeterministicRng(5)
+    draws = [rng.lognormal_around(1000.0, 0.5) for _ in range(40_000)]
+    assert sum(draws) / len(draws) == pytest.approx(1000.0, rel=0.05)
+
+
+def test_lognormal_zero_sigma_degenerates():
+    rng = DeterministicRng()
+    assert rng.lognormal_around(500.0, 0) == 500.0
+
+
+@given(st.integers(min_value=1, max_value=500))
+def test_zipf_in_range(n):
+    rng = DeterministicRng(n)
+    for _ in range(50):
+        assert 0 <= rng.zipf_index(n) < n
+
+
+def test_zipf_rank_one_most_popular():
+    rng = DeterministicRng(9)
+    draws = [rng.zipf_index(100) for _ in range(20_000)]
+    counts = [draws.count(i) for i in range(4)]
+    assert counts[0] > counts[1] > counts[2]
+
+
+def test_zipf_empty_domain_rejected():
+    with pytest.raises(ValueError):
+        DeterministicRng().zipf_index(0)
+
+
+def test_bernoulli_probability():
+    rng = DeterministicRng(13)
+    hits = sum(rng.bernoulli(0.25) for _ in range(40_000))
+    assert hits / 40_000 == pytest.approx(0.25, abs=0.02)

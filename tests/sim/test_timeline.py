@@ -1,0 +1,108 @@
+"""Span timeline and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.core.system import Machine
+from repro.cpu import isa
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.timeline import Timeline, record_exit_timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(Simulator())
+
+
+def test_span_records_duration(timeline):
+    span = timeline.begin("work")
+    timeline._sim.advance(150)
+    timeline.end(span)
+    assert span.duration == 150
+
+
+def test_nesting_structure(timeline):
+    with timeline.span("outer"):
+        timeline._sim.advance(10)
+        with timeline.span("inner"):
+            timeline._sim.advance(5)
+        timeline._sim.advance(10)
+    outer = timeline.roots[0]
+    assert outer.name == "outer"
+    assert [c.name for c in outer.children] == ["inner"]
+    assert outer.duration == 25
+    assert outer.children[0].duration == 5
+
+
+def test_mismatched_end_rejected(timeline):
+    a = timeline.begin("a")
+    timeline.begin("b")
+    with pytest.raises(ConfigError):
+        timeline.end(a)
+
+
+def test_end_without_begin_rejected(timeline):
+    with pytest.raises(ConfigError):
+        timeline.end()
+
+
+def test_open_span_has_no_duration(timeline):
+    span = timeline.begin("open")
+    with pytest.raises(ConfigError):
+        _ = span.duration
+
+
+def test_exclusive_category_totals(timeline):
+    with timeline.span("exit", category="exit"):
+        timeline._sim.advance(100)
+        with timeline.span("handler", category="handler"):
+            timeline._sim.advance(40)
+    totals = timeline.total_by_category()
+    assert totals == {"exit": 100, "handler": 40}
+
+
+def test_find_by_name(timeline):
+    with timeline.span("x"):
+        pass
+    with timeline.span("x"):
+        pass
+    assert len(timeline.find("x")) == 2
+
+
+def test_chrome_trace_format(timeline):
+    with timeline.span("vmexit:CPUID", category="exit", reason="CPUID"):
+        timeline._sim.advance(10_400)
+    trace = timeline.to_chrome_trace()
+    events = trace["traceEvents"]
+    assert events[0]["ph"] == "M"
+    exit_event = events[1]
+    assert exit_event["name"] == "vmexit:CPUID"
+    assert exit_event["ph"] == "X"
+    assert exit_event["dur"] == pytest.approx(10.4)   # microseconds
+    assert exit_event["args"]["reason"] == "CPUID"
+    json.dumps(trace)   # serialisable
+
+
+def test_dump_json(tmp_path, timeline):
+    with timeline.span("s"):
+        timeline._sim.advance(1)
+    path = tmp_path / "trace.json"
+    timeline.dump_json(path)
+    loaded = json.loads(path.read_text())
+    assert any(e.get("name") == "s" for e in loaded["traceEvents"])
+
+
+def test_record_exit_timeline_over_machine():
+    machine = Machine()
+    timeline = record_exit_timeline(
+        machine, isa.Program([isa.cpuid(), isa.alu(100)], repeat=3)
+    )
+    exits = timeline.find("vmexit:CPUID")
+    assert len(exits) == 3
+    for span in exits:
+        assert span.duration == 10_400 - machine.costs.cpuid_guest_work
+    # The wrapper restored the original dispatch.
+    machine.run_instruction(isa.cpuid())
+    assert len(timeline.find("vmexit:CPUID")) == 3

@@ -1,0 +1,66 @@
+"""Deep-nesting cost model (L3+)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.virt.deep import DeepNestingModel
+
+
+@pytest.fixture
+def model():
+    return DeepNestingModel()
+
+
+def test_depth2_reproduces_table1_anchor():
+    base, svt = DeepNestingModel().sanity_check_against_simulation()
+    assert base == 10_400
+    assert svt == pytest.approx(5360, abs=20)
+
+
+def test_depth_must_be_positive(model):
+    with pytest.raises(ConfigError):
+        model.baseline_exit_ns(0)
+    with pytest.raises(ConfigError):
+        model.svt_exit_ns(0)
+
+
+def test_baseline_grows_geometrically(model):
+    costs = [model.baseline_exit_ns(d) for d in range(1, 6)]
+    ratios = [costs[i + 1] / costs[i] for i in range(len(costs) - 1)]
+    assert all(r > 1.8 for r in ratios)     # super-linear blowup
+    # Ratio approaches the aux branching factor + 1-ish from above.
+    assert ratios[-1] == pytest.approx(ratios[-2], rel=0.15)
+
+
+def test_svt_keeps_constant_factor_with_enough_contexts(model):
+    speedups = [model.speedup(d, hardware_contexts=8)
+                for d in range(2, 6)]
+    assert all(1.8 < s < 2.2 for s in speedups)
+
+
+def test_multiplexing_erodes_deep_levels():
+    model = DeepNestingModel()
+    wide = model.svt_exit_ns(4, hardware_contexts=8)
+    narrow = model.svt_exit_ns(4, hardware_contexts=3)
+    assert narrow > wide
+    # ...but even a narrow core keeps some advantage over baseline.
+    assert narrow < model.baseline_exit_ns(4)
+
+
+def test_single_level_matches_fig6_l1_bar(model):
+    assert model.baseline_exit_ns(1) == pytest.approx(2260, abs=10)
+
+
+def test_table_shape(model):
+    rows = model.table(max_depth=4)
+    assert len(rows) == 4
+    depths, base, svt, speedups = zip(*rows)
+    assert list(depths) == [1, 2, 3, 4]
+    assert list(base) == sorted(base)
+    assert list(svt) == sorted(svt)
+    assert all(b > s for b, s in zip(base, svt))
+
+
+def test_aux_validation():
+    with pytest.raises(ConfigError):
+        DeepNestingModel(aux_per_reflection=-1)

@@ -1,0 +1,125 @@
+"""EPT translation, MMIO misconfig, two-level composition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EptFault
+from repro.io.device import MmioDevice
+from repro.virt.ept import EptMisconfig, EptTable
+
+
+class NullDevice(MmioDevice):
+    def on_kick(self, queue_index):
+        pass
+
+
+def test_simple_translate():
+    ept = EptTable()
+    ept.map_range(0x0, 0x10000, 0x100000)
+    assert ept.translate(0x0) == 0x100000
+    assert ept.translate(0xFFFF) == 0x10FFFF
+
+
+def test_unmapped_faults():
+    ept = EptTable()
+    ept.map_range(0x0, 0x1000, 0x100000)
+    with pytest.raises(EptFault):
+        ept.translate(0x2000)
+
+
+def test_mmio_raises_misconfig():
+    ept = EptTable()
+    device = NullDevice("d", 0xF000)
+    region = ept.map_mmio(0xF000, 0x1000, device)
+    with pytest.raises(EptMisconfig) as excinfo:
+        ept.translate(0xF800)
+    assert excinfo.value.region is region
+    assert ept.lookup_mmio(0xF800).device is device
+    assert ept.lookup_mmio(0x0) is None
+
+
+def test_overlapping_mappings_rejected():
+    ept = EptTable()
+    ept.map_range(0x0, 0x2000, 0x100000)
+    with pytest.raises(EptFault):
+        ept.map_range(0x1000, 0x1000, 0x200000)
+    with pytest.raises(EptFault):
+        ept.map_mmio(0x1800, 0x1000, NullDevice("d", 0x1800))
+
+
+def test_zero_size_rejected():
+    ept = EptTable()
+    with pytest.raises(EptFault):
+        ept.map_range(0, 0, 0)
+
+
+def test_inverse_translation():
+    ept = EptTable()
+    ept.map_range(0x1000, 0x1000, 0x500000)
+    assert ept.inverse(0x500800) == 0x1800
+    with pytest.raises(EptFault):
+        ept.inverse(0x900000)
+
+
+def test_compose_two_levels_matches_sequential_translation():
+    inner = EptTable("l1for2")       # L2 GPA -> L1 GPA
+    inner.map_range(0x0, 0x4000, 0x10000)
+    outer = EptTable("l0for1")       # L1 GPA -> HPA
+    outer.map_range(0x0, 0x100000, 0x40000000)
+    composed = inner.compose(outer)
+    for gpa in (0x0, 0x123, 0x3FFF):
+        assert composed.translate(gpa) == outer.translate(
+            inner.translate(gpa)
+        )
+
+
+def test_compose_preserves_inner_mmio():
+    inner = EptTable()
+    device = NullDevice("nic", 0xF000)
+    inner.map_mmio(0xF000, 0x1000, device)
+    inner.map_range(0x0, 0x1000, 0x10000)
+    outer = EptTable()
+    outer.map_range(0x0, 0x100000, 0x40000000)
+    composed = inner.compose(outer)
+    with pytest.raises(EptMisconfig):
+        composed.translate(0xF010)
+    assert composed.lookup_mmio(0xF010).device is device
+
+
+def test_compose_splits_across_outer_discontiguity():
+    inner = EptTable()
+    inner.map_range(0x0, 0x4000, 0x0)    # spans two outer runs
+    outer = EptTable()
+    outer.map_range(0x0, 0x2000, 0x100000)
+    outer.map_range(0x2000, 0x2000, 0x900000)  # discontiguous target
+    composed = inner.compose(outer)
+    assert composed.translate(0x1FFF) == 0x101FFF
+    assert composed.translate(0x2000) == 0x900000
+
+
+def test_invalidate_bumps_generation():
+    ept = EptTable()
+    assert ept.generation == 0
+    ept.invalidate()
+    assert ept.generation == 1
+
+
+def test_mapped_bytes():
+    ept = EptTable()
+    ept.map_range(0x0, 0x1000, 0x0)
+    ept.map_range(0x10000, 0x2000, 0x100000)
+    assert ept.mapped_bytes == 0x3000
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=0x3FFF))
+def test_property_compose_equals_two_step(gpa):
+    inner = EptTable()
+    inner.map_range(0x0, 0x4000, 0x20000)
+    outer = EptTable()
+    # 4 KiB-granular scattered outer mapping.
+    for page in range(0x20000 // 0x1000, 0x24000 // 0x1000):
+        outer.map_range(page * 0x1000, 0x1000,
+                        0x40000000 + (page * 7 % 64) * 0x1000)
+    composed = inner.compose(outer)
+    assert composed.translate(gpa) == outer.translate(inner.translate(gpa))

@@ -1,0 +1,137 @@
+"""Hypervisor emulation handlers (mode-independent logic)."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.virt.exits import ExitInfo, ExitReason
+from repro.virt.hypervisor import (
+    Hypervisor,
+    MSR_TSC_DEADLINE,
+    cpuid_leaf_values,
+)
+from repro.virt.vcpu import VCpu
+from repro.virt.vm import VirtualMachine
+from repro.virt.vmcs import Vmcs
+
+
+@pytest.fixture
+def env():
+    hypervisor = Hypervisor("L1", 1)
+    vm = VirtualMachine("L2-vm", 2, ram_mb=8, ram_target_base=0x100000)
+    vcpu = vm.vcpu
+    vcpu.write("rip", 0x1000)
+    vmcs = Vmcs("vmcs01p")
+    return hypervisor, vm, vcpu, vmcs
+
+
+def handle(hypervisor, info, vm, vcpu, vmcs):
+    hypervisor.handle_exit(info, vm, vcpu, vcpu.write, vmcs)
+
+
+def test_cpuid_values_depend_on_level():
+    assert cpuid_leaf_values(1, 0) != cpuid_leaf_values(1, 1)
+
+
+def test_cpuid_hides_vmx_from_guests():
+    # Bit 5 of edx is the (modelled) VMX feature: visible natively,
+    # masked by any hypervisor.
+    assert cpuid_leaf_values(0, 0)[3] & 0x20
+    assert not cpuid_leaf_values(0, 1)[3] & 0x20
+
+
+def test_cpuid_handler_writes_registers_and_advances_rip(env):
+    hypervisor, vm, vcpu, vmcs = env
+    info = ExitInfo(ExitReason.CPUID, {"leaf": 4}, guest_rip=0x1000,
+                    instruction_length=2)
+    handle(hypervisor, info, vm, vcpu, vmcs)
+    eax, ebx, ecx, edx = cpuid_leaf_values(4, 1)
+    assert vcpu.read("rax") == eax
+    assert vcpu.read("rdx") == edx
+    assert vcpu.rip == 0x1002
+    assert vmcs.read("guest_rip") == 0x1002
+
+
+def test_msr_write_and_read_roundtrip(env):
+    hypervisor, vm, vcpu, vmcs = env
+    handle(hypervisor,
+           ExitInfo(ExitReason.MSR_WRITE, {"msr": 0x10, "value": 0x55}),
+           vm, vcpu, vmcs)
+    assert vcpu.read_msr(0x10) == 0x55
+    handle(hypervisor, ExitInfo(ExitReason.MSR_READ, {"msr": 0x10}),
+           vm, vcpu, vmcs)
+    assert vcpu.read("rax") == 0x55
+
+
+def test_tsc_deadline_write_arms_timer(env):
+    hypervisor, vm, vcpu, vmcs = env
+    armed = []
+    hypervisor.arm_timer = lambda cpu, value: armed.append((cpu, value))
+    handle(hypervisor,
+           ExitInfo(ExitReason.MSR_WRITE,
+                    {"msr": MSR_TSC_DEADLINE, "value": 9999}),
+           vm, vcpu, vmcs)
+    assert armed == [(vcpu, 9999)]
+
+
+def test_unhandled_reason_raises(env):
+    hypervisor, vm, vcpu, vmcs = env
+    with pytest.raises(VirtualizationError):
+        handle(hypervisor, ExitInfo(ExitReason.MONITOR), vm, vcpu, vmcs)
+
+
+def test_exit_counts_tracked(env):
+    hypervisor, vm, vcpu, vmcs = env
+    handle(hypervisor, ExitInfo(ExitReason.CPUID, {"leaf": 0}),
+           vm, vcpu, vmcs)
+    handle(hypervisor, ExitInfo(ExitReason.CPUID, {"leaf": 1}),
+           vm, vcpu, vmcs)
+    assert hypervisor.exit_counts[ExitReason.CPUID] == 2
+
+
+def test_hypercall_dispatch(env):
+    hypervisor, vm, vcpu, vmcs = env
+    hypervisor.register_hypercall(7, lambda payload: payload["x"] + 1)
+    handle(hypervisor,
+           ExitInfo(ExitReason.VMCALL, {"number": 7, "payload": {"x": 41}}),
+           vm, vcpu, vmcs)
+    assert vcpu.read("rax") == 42
+
+
+def test_unknown_hypercall_returns_enosys(env):
+    hypervisor, vm, vcpu, vmcs = env
+    handle(hypervisor, ExitInfo(ExitReason.VMCALL, {"number": 99}),
+           vm, vcpu, vmcs)
+    assert vcpu.read("rax") == 0xFFFFFFFFFFFFFFFF
+
+
+def test_duplicate_hypercall_rejected(env):
+    hypervisor, _, _, _ = env
+    hypervisor.register_hypercall(1, lambda p: 0)
+    with pytest.raises(VirtualizationError):
+        hypervisor.register_hypercall(1, lambda p: 0)
+
+
+def test_hlt_halts_vcpu(env):
+    hypervisor, vm, vcpu, vmcs = env
+    handle(hypervisor, ExitInfo(ExitReason.HLT), vm, vcpu, vmcs)
+    assert vcpu.halted
+
+
+def test_interrupt_injection_writes_event_field_and_traps(env):
+    hypervisor, vm, vcpu, vmcs = env
+    traps = []
+    vmcs._trap_callback = lambda kind, field: traps.append((kind, field))
+    handle(hypervisor,
+           ExitInfo(ExitReason.EXTERNAL_INTERRUPT,
+                    {"vector": 0x60, "inject_vector": 0x60}),
+           vm, vcpu, vmcs)
+    assert vmcs.read("entry_interruption_info") == 0x80000060
+    assert ("VMWRITE", "entry_interruption_info") in traps
+
+
+def test_ept_misconfig_without_device_raises(env):
+    hypervisor, vm, vcpu, vmcs = env
+    with pytest.raises(VirtualizationError):
+        handle(hypervisor,
+               ExitInfo(ExitReason.EPT_MISCONFIG, {"gpa": 0xDEAD0000}),
+               vm, vcpu, vmcs)

@@ -1,0 +1,133 @@
+"""vmcs12 <-> vmcs02 transformations (paper Fig. 2 / §2.1)."""
+
+import pytest
+
+from repro.virt.ept import EptTable
+from repro.virt.exits import ExitInfo, ExitReason
+from repro.virt.transform import (
+    L0Policy,
+    sync_shadow_to_vmcs12,
+    transform_02_to_12,
+    transform_12_to_02,
+)
+from repro.virt.vmcs import Vmcs
+
+
+@pytest.fixture
+def ept01():
+    table = EptTable("ept01")
+    table.map_range(0x0, 0x1000000, 0x40000000)
+    return table
+
+
+def make_vmcs12():
+    vmcs12 = Vmcs("vmcs12")
+    vmcs12.write("guest_rip", 0x1000)
+    vmcs12.write("guest_cr3", 0x2000)
+    vmcs12.write("msr_bitmap_addr", 0x3000)
+    vmcs12.write("ept_pointer", 0x5000)
+    vmcs12.trapped_msrs.add(0x6E0)
+    return vmcs12
+
+
+def test_addresses_translated_to_host_physical(ept01):
+    # Paper: "L0 must thus transform these addresses into the actual
+    # host physical addresses".
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    translated = transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    assert vmcs02.read("msr_bitmap_addr") == 0x40003000
+    assert vmcs02.read("ept_pointer") == 0x40005000
+    assert set(translated) == {"msr_bitmap_addr", "ept_pointer"}
+
+
+def test_guest_state_copied_untranslated(ept01):
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    assert vmcs02.read("guest_rip") == 0x1000
+    assert vmcs02.read("guest_cr3") == 0x2000
+
+
+def test_l0_policy_forced_on_top_of_l1(ept01):
+    # Paper: "L0 configures vmcs02 to ensure access to these resources
+    # trigger a VM trap, regardless of the configuration set by L1".
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    vmcs12.force_tsc_exit = False
+    policy = L0Policy(force_tsc_exit=True, forced_msr_traps={0x10})
+    transform_12_to_02(vmcs12, vmcs02, ept01, policy)
+    assert vmcs02.force_tsc_exit is True
+    assert vmcs02.trapped_msrs == {0x6E0, 0x10}
+
+
+def test_host_state_belongs_to_l0(ept01):
+    # A trap from L2 must always land in L0 first (paper Fig. 1).
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    vmcs12.write("host_rip", 0x1234)  # whatever L1 put there
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    assert vmcs02.read("host_rip") != 0x1234
+
+
+def test_composed_ept_attached(ept01):
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    marker = EptTable("composed")
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy(),
+                       composed_ept=marker)
+    assert vmcs02.ept is marker
+
+
+def test_exit_state_reflected_back(ept01):
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    vmcs02.record_exit(ExitInfo(ExitReason.CPUID, {"leaf": 1},
+                                guest_rip=0x1002))
+    transform_02_to_12(vmcs02, vmcs12, ept01)
+    assert vmcs12.read("exit_reason") == ExitReason.CPUID
+    assert vmcs12.read("guest_rip") == 0x1002
+
+
+def test_guest_physical_address_inverse_translated(ept01):
+    # Exit info carries host-physical addresses; L1 must see its own
+    # guest-physical space.
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    vmcs02.write("guest_physical_address", 0x40007000, force=True)
+    transform_02_to_12(vmcs02, vmcs12, ept01)
+    assert vmcs12.read("guest_physical_address") == 0x7000
+
+
+def test_roundtrip_preserves_l1_visible_guest_state(ept01):
+    vmcs12, vmcs02 = make_vmcs12(), Vmcs("vmcs02")
+    before = {name: vmcs12.read(name)
+              for name in ("guest_rip", "guest_cr3", "guest_rsp")}
+    transform_12_to_02(vmcs12, vmcs02, ept01, L0Policy())
+    transform_02_to_12(vmcs02, vmcs12, ept01)
+    after = {name: vmcs12.read(name)
+             for name in ("guest_rip", "guest_cr3", "guest_rsp")}
+    assert before == after
+
+
+def test_sync_shadow_copies_dirty_fields():
+    vmcs01p, vmcs12 = Vmcs("vmcs01'"), Vmcs("vmcs12")
+    vmcs01p.write("guest_rip", 7)
+    vmcs01p.write("exception_bitmap", 0xFF)
+    vmcs01p.take_dirty()
+    vmcs01p.write("guest_rip", 9)   # only this one dirty now
+    synced = sync_shadow_to_vmcs12(vmcs01p, vmcs12)
+    assert synced == ["guest_rip"]
+    assert vmcs12.read("guest_rip") == 9
+    assert vmcs12.read("exception_bitmap") == 0
+
+
+def test_sync_shadow_explicit_fields():
+    vmcs01p, vmcs12 = Vmcs("vmcs01'"), Vmcs("vmcs12")
+    vmcs01p.write("exception_bitmap", 0xFF)
+    sync_shadow_to_vmcs12(vmcs01p, vmcs12, fields=["exception_bitmap"])
+    assert vmcs12.read("exception_bitmap") == 0xFF
+
+
+def test_sync_shadow_carries_trap_configuration():
+    vmcs01p, vmcs12 = Vmcs("vmcs01'"), Vmcs("vmcs12")
+    vmcs01p.trapped_msrs.add(0x6E0)
+    vmcs01p.force_tsc_exit = True
+    sync_shadow_to_vmcs12(vmcs01p, vmcs12)
+    assert 0x6E0 in vmcs12.trapped_msrs
+    assert vmcs12.force_tsc_exit

@@ -1,0 +1,62 @@
+"""Workload comparison helpers."""
+
+import pytest
+
+from repro.core.mode import ExecutionMode
+from repro.workloads.base import ModeComparison, compare_modes
+
+
+def make(values, higher=False):
+    comparison = ModeComparison("m", "us", higher_is_better=higher)
+    comparison.values.update(values)
+    return comparison
+
+
+def test_latency_speedup_direction():
+    comparison = make({
+        ExecutionMode.BASELINE: 100.0,
+        ExecutionMode.SW_SVT: 80.0,
+        ExecutionMode.HW_SVT: 50.0,
+    })
+    assert comparison.speedup(ExecutionMode.SW_SVT) == pytest.approx(1.25)
+    assert comparison.speedup(ExecutionMode.HW_SVT) == pytest.approx(2.0)
+
+
+def test_bandwidth_speedup_direction():
+    comparison = make({
+        ExecutionMode.BASELINE: 100.0,
+        ExecutionMode.HW_SVT: 120.0,
+    }, higher=True)
+    assert comparison.speedup(ExecutionMode.HW_SVT) == pytest.approx(1.2)
+
+
+def test_row_shape():
+    comparison = make({
+        ExecutionMode.BASELINE: 10.0,
+        ExecutionMode.SW_SVT: 8.0,
+        ExecutionMode.HW_SVT: 5.0,
+    })
+    base, sw, hw = comparison.row()
+    assert base == 10.0
+    assert sw == pytest.approx(1.25)
+    assert hw == pytest.approx(2.0)
+
+
+def test_compare_modes_runs_every_mode():
+    seen = []
+
+    def fake_run(mode):
+        seen.append(mode)
+        return {"baseline": 10.0, "sw_svt": 9.0, "hw_svt": 6.0}[mode]
+
+    comparison = compare_modes(fake_run, "metric", "us")
+    assert seen == list(ExecutionMode.ALL)
+    assert comparison.values[ExecutionMode.HW_SVT] == 6.0
+
+
+def test_compare_modes_forwards_kwargs():
+    def fake_run(mode, scale=1):
+        return scale
+
+    comparison = compare_modes(fake_run, "metric", "us", scale=7)
+    assert comparison.values[ExecutionMode.BASELINE] == 7

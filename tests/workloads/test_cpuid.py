@@ -1,0 +1,54 @@
+"""cpuid workload: Table 1 and Figure 6 anchors."""
+
+import pytest
+
+from repro.core.mode import ExecutionMode
+from repro.workloads import cpuid
+
+
+def test_baseline_matches_table1_total():
+    result = cpuid.run(ExecutionMode.BASELINE, iterations=10)
+    assert result.us_per_op == pytest.approx(10.40, abs=0.01)
+
+
+def test_figure6_bars():
+    bars = cpuid.figure6(iterations=10)
+    assert bars["L0"] == pytest.approx(0.05, abs=0.005)
+    assert bars["L2"] == pytest.approx(10.40, abs=0.02)
+    assert bars["L0"] < bars["L1"] < bars["HW SVt"] < bars["SW SVt"] \
+        < bars["L2"]
+
+
+def test_figure6_speedups():
+    bars = cpuid.figure6(iterations=10)
+    assert bars["L2"] / bars["SW SVt"] == pytest.approx(
+        cpuid.PAPER["sw_svt_speedup"], abs=0.01)
+    assert bars["L2"] / bars["HW SVt"] == pytest.approx(
+        cpuid.PAPER["hw_svt_speedup"], abs=0.01)
+
+
+def test_table1_breakdown_matches_paper_percentages():
+    rows = cpuid.table1_breakdown(iterations=10)
+    paper = {
+        "0 L2": (0.05, 0.47),
+        "1 Switch L2<->L0": (0.81, 7.75),
+        "2 Transform vmcs02/vmcs12": (1.29, 12.45),
+        "3 L0 handler": (4.89, 47.02),
+        "4 Switch L0<->L1": (1.40, 13.43),
+        "5 L1 handler": (1.96, 18.87),
+    }
+    for label, us, pct in rows:
+        paper_us, paper_pct = paper[label]
+        assert us == pytest.approx(paper_us, abs=0.01), label
+        assert pct == pytest.approx(paper_pct, abs=0.1), label
+
+
+def test_table1_total_is_10_40_us():
+    rows = cpuid.table1_breakdown(iterations=10)
+    assert sum(us for _, us, _ in rows) == pytest.approx(10.40, abs=0.01)
+
+
+def test_surrounding_work_adds_linearly():
+    bare = cpuid.run(iterations=5)
+    loaded = cpuid.run(iterations=5, surrounding_work_ns=3000)
+    assert loaded.ns_per_op == pytest.approx(bare.ns_per_op + 3000, abs=5)

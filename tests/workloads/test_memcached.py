@@ -1,0 +1,77 @@
+"""memcached workload: Figure 8 shape."""
+
+import pytest
+
+from repro.core.mode import ExecutionMode
+from repro.workloads import memcached
+
+LOADS = [5.0, 10.0, 15.0, 17.5]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        mode: memcached.run(mode, loads_kqps=LOADS, requests=12_000)
+        for mode in (ExecutionMode.BASELINE, ExecutionMode.SW_SVT)
+    }
+
+
+def test_service_time_ordering(results):
+    base = results[ExecutionMode.BASELINE]
+    svt = results[ExecutionMode.SW_SVT]
+    assert svt.service_get_us < base.service_get_us
+    assert base.service_set_us > base.service_get_us
+
+
+def test_latency_rises_with_load(results):
+    for result in results.values():
+        p99s = [point.p99_us for point in result.points]
+        assert p99s == sorted(p99s)
+
+
+def test_svt_sustains_more_load_within_sla(results):
+    base = results[ExecutionMode.BASELINE]
+    svt = results[ExecutionMode.SW_SVT]
+    assert svt.max_load_within_sla() > base.max_load_within_sla()
+
+
+def test_headline_improvements_near_paper(results):
+    p99_ratio, avg_ratio = memcached.headline_improvements(
+        results[ExecutionMode.BASELINE], results[ExecutionMode.SW_SVT]
+    )
+    assert p99_ratio == pytest.approx(memcached.PAPER["p99_improvement"],
+                                      abs=0.35)
+    assert avg_ratio == pytest.approx(memcached.PAPER["avg_improvement"],
+                                      abs=0.25)
+
+
+def test_p99_dominates_average(results):
+    for result in results.values():
+        for point in result.points:
+            assert point.p99_us > point.avg_us
+
+
+def test_deterministic_given_seed():
+    a = memcached.run(ExecutionMode.BASELINE, loads_kqps=[10.0],
+                      requests=4_000, seed=3)
+    b = memcached.run(ExecutionMode.BASELINE, loads_kqps=[10.0],
+                      requests=4_000, seed=3)
+    assert a.points[0].p99_us == b.points[0].p99_us
+
+
+def test_ept_misconfig_dominates_profile():
+    # Paper §6.3.1: "L0 spends 4.8%-19.3% of the overall time serving
+    # EPT_MISCONFIG traps ... and 0.5%-4.6% serving MSR_WRITE".
+    from repro.analysis.breakdown import exit_reason_profile
+    from repro.core.system import Machine
+    from repro.io.net import install_network
+
+    machine = Machine(mode=ExecutionMode.BASELINE)
+    net = install_network(machine)
+    net.l1_backend.notify_tx_completion = False
+    cfg = memcached.EtcConfig()
+    for i in range(12):
+        memcached._serve_one(machine, net, cfg, i % 10 != 0, i + 1)
+    profile = exit_reason_profile(machine.stack)
+    assert profile.get("EPT_MISCONFIG", 0) > profile.get("MSR_WRITE", 0) \
+        or profile.get("EPT_MISCONFIG", 0) > 0.04

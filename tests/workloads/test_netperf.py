@@ -1,0 +1,67 @@
+"""netperf workload: Figure 7 network shapes."""
+
+import pytest
+
+from repro.core.mode import ExecutionMode
+from repro.workloads import netperf
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return {
+        mode: netperf.run_latency(mode, operations=10, warmup=2)
+        for mode in ExecutionMode.ALL
+    }
+
+
+@pytest.fixture(scope="module")
+def bandwidths():
+    return {mode: netperf.run_bandwidth(mode) for mode in ExecutionMode.ALL}
+
+
+def test_baseline_latency_near_paper(latencies):
+    assert latencies[ExecutionMode.BASELINE] == pytest.approx(
+        netperf.PAPER["latency_us"], rel=0.06)
+
+
+def test_latency_ordering(latencies):
+    assert latencies[ExecutionMode.HW_SVT] \
+        < latencies[ExecutionMode.SW_SVT] \
+        < latencies[ExecutionMode.BASELINE]
+
+
+def test_latency_speedups_near_paper(latencies):
+    base = latencies[ExecutionMode.BASELINE]
+    sw = base / latencies[ExecutionMode.SW_SVT]
+    hw = base / latencies[ExecutionMode.HW_SVT]
+    assert sw == pytest.approx(netperf.PAPER["latency_speedup_sw"],
+                               abs=0.06)
+    assert hw == pytest.approx(netperf.PAPER["latency_speedup_hw"],
+                               abs=0.12)
+
+
+def test_baseline_bandwidth_near_paper(bandwidths):
+    assert bandwidths[ExecutionMode.BASELINE] == pytest.approx(
+        netperf.PAPER["bandwidth_mbps"], rel=0.03)
+
+
+def test_bandwidth_near_line_rate(bandwidths):
+    # Paper: "network bandwidth is close to the physical limit of 10Gbps".
+    assert bandwidths[ExecutionMode.BASELINE] > 9000
+
+
+def test_bandwidth_speedups_shape(bandwidths):
+    base = bandwidths[ExecutionMode.BASELINE]
+    sw = bandwidths[ExecutionMode.SW_SVT] / base
+    hw = bandwidths[ExecutionMode.HW_SVT] / base
+    assert sw == pytest.approx(netperf.PAPER["bandwidth_speedup_sw"],
+                               abs=0.05)
+    assert hw == pytest.approx(netperf.PAPER["bandwidth_speedup_hw"],
+                               abs=0.05)
+    assert hw >= sw
+
+
+def test_run_returns_both_metrics():
+    result = netperf.run(ExecutionMode.HW_SVT)
+    assert result.latency_us > 0
+    assert result.bandwidth_mbps > 0
