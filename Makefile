@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke lint clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast end-to-end pass: every registered experiment with smoke
+# parameters, serial vs parallel, writing results/runtime_smoke.json —
+# then the full parallel run against the cache.
+bench-smoke:
+	$(PYTHON) -m repro smoke
+	$(PYTHON) -m repro all --json --jobs 4 > /dev/null
+
+# ruff is optional in the offline evaluation image; skip quietly when
+# it is not installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+clean:
+	rm -rf results/cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -3,53 +3,22 @@
 The paper derives "HW SVt" by scaling SW SVt measurements (removing every
 context-switch cost from the Table-1 breakdown).  We simulate the
 hardware directly; this ablation applies the paper's scaling to our
-baseline/SW traces and checks both roads meet.
+baseline/SW traces and checks both roads meet.  The trace/scaling driver
+lives in ``repro.exp.experiments.ablations`` (shared with the registered
+``ablation_hw_model`` experiment).
 """
 
 import pytest
 
-from repro.analysis.hw_model import scale_sw_to_hw
 from repro.analysis.report import format_table
-from repro.core.mode import ExecutionMode
-from repro.core.system import Machine
-from repro.cpu import isa
-
-
-def _traced(mode, repeat=20):
-    machine = Machine(mode=mode)
-    machine.run_program(isa.Program([isa.cpuid()]))        # warmup
-    before = machine.tracer.snapshot()
-    start = machine.sim.now
-    machine.run_program(isa.Program([isa.cpuid()], repeat=repeat))
-    elapsed = machine.sim.now - start
-
-    class _Delta:
-        totals = {
-            key: machine.tracer.totals[key] - before.get(key, 0)
-            for key in machine.tracer.totals
-        }
-
-        @staticmethod
-        def total(*categories):
-            if not categories:
-                return sum(_Delta.totals.values())
-            return sum(_Delta.totals.get(c, 0) for c in categories)
-
-    return elapsed / repeat, _Delta
+from repro.exp.experiments.ablations import hw_model_cross_check
 
 
 def test_ablation_hw_model_cross_check(benchmark, report):
-    def both_roads():
-        _, baseline_trace = _traced(ExecutionMode.BASELINE)
-        _, sw_trace = _traced(ExecutionMode.SW_SVT)
-        direct_ns, _ = _traced(ExecutionMode.HW_SVT)
-        return (
-            scale_sw_to_hw(baseline_trace) / 20,
-            scale_sw_to_hw(sw_trace) / 20,
-            direct_ns,
-        )
-
-    from_baseline, from_sw, direct = benchmark(both_roads)
+    roads = benchmark(hw_model_cross_check)
+    from_baseline = roads["scaled_from_baseline_ns"]
+    from_sw = roads["scaled_from_sw_ns"]
+    direct = roads["direct_ns"]
 
     report("Ablation B: HW model methodologies", format_table(
         ["Road to HW SVt (cpuid)", "us/op"],

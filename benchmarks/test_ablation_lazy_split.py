@@ -5,51 +5,26 @@ calibration splits part 3 into 2.82 us pure + 2.07 us lazy and part 5
 into 1.12 + 0.84 (DESIGN.md).  The split is the one free parameter in the
 Table-1 calibration, so this ablation sweeps it: more lazy share means
 HW SVt removes more, and the Fig. 6 HW speedup moves accordingly — the
-paper's 1.94x pins the split we chose.
+paper's 1.94x pins the split we chose.  The sweep drivers live in
+``repro.exp.experiments.ablations`` (shared with the registered
+``ablation_lazy_split`` experiment).
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.mode import ExecutionMode
-from repro.core.system import Machine
-from repro.cpu import isa
-from repro.cpu.costs import CostModel
+from repro.exp.experiments.ablations import (
+    AblationLazySplit,
+    hw_speedup,
+    with_lazy_fraction,
+)
 
-
-def _with_lazy_fraction(fraction):
-    """CostModel with `fraction` of Table-1 parts 3/5 treated as lazy."""
-    part3, part5 = 4890, 1960
-    l0_lazy = int(part3 * fraction)
-    l1_lazy = int(part5 * fraction)
-    base = CostModel()
-    l0_pure = dict(base.l0_handler_pure)
-    l1_pure = dict(base.l1_handler_pure)
-    l0_pure["CPUID"] = part3 - l0_lazy
-    l1_pure["CPUID"] = part5 - l1_lazy
-    return base.with_overrides(
-        l0_lazy_switch=l0_lazy,
-        l1_lazy_switch=l1_lazy,
-        l0_handler_pure=l0_pure,
-        l1_handler_pure=l1_pure,
-    )
-
-
-def _hw_speedup(costs):
-    times = {}
-    for mode in (ExecutionMode.BASELINE, ExecutionMode.HW_SVT):
-        machine = Machine(mode=mode, costs=costs)
-        machine.run_program(isa.Program([isa.cpuid()]))
-        result = machine.run_program(isa.Program([isa.cpuid()], repeat=10))
-        times[mode] = result.ns_per_instruction
-    return times[ExecutionMode.BASELINE] / times[ExecutionMode.HW_SVT]
+FRACTIONS = AblationLazySplit.FRACTIONS
 
 
 def test_ablation_lazy_split(benchmark, report):
-    fractions = (0.0, 0.2, 0.423, 0.6, 0.8)
-
     def sweep():
-        return {f: _hw_speedup(_with_lazy_fraction(f)) for f in fractions}
+        return {f: hw_speedup(with_lazy_fraction(f)) for f in FRACTIONS}
 
     speedups = benchmark(sweep)
 
@@ -57,7 +32,7 @@ def test_ablation_lazy_split(benchmark, report):
         ["lazy share of parts 3+5", "baseline (us)", "HW SVt speedup"],
         [
             (f"{f:.3f}",
-             f"{_with_lazy_fraction(f).table1_total() / 1000:.2f}",
+             f"{with_lazy_fraction(f).table1_total() / 1000:.2f}",
              f"{s:.2f}x")
             for f, s in speedups.items()
         ],
@@ -66,10 +41,10 @@ def test_ablation_lazy_split(benchmark, report):
     ))
 
     # Baseline total is invariant (the split moves cost between rows).
-    for fraction in fractions:
-        assert _with_lazy_fraction(fraction).table1_total() == 10_400
+    for fraction in FRACTIONS:
+        assert with_lazy_fraction(fraction).table1_total() == 10_400
     # Monotonic: more lazy share -> more HW SVt benefit.
-    ordered = [speedups[f] for f in fractions]
+    ordered = [speedups[f] for f in FRACTIONS]
     assert ordered == sorted(ordered)
     # No lazy share cannot explain the paper's 1.94x...
     assert speedups[0.0] < 1.5

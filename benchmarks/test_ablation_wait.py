@@ -2,50 +2,44 @@
 
 Paper §6.1 concludes "SMT+mwait is a good compromise"; this ablation
 runs the nested cpuid microbenchmark with every mechanism and placement
-to show the conclusion end to end.
+to show the conclusion end to end.  The per-variant driver lives in
+``repro.exp.experiments.ablations`` (shared with the registered
+``ablation_wait`` experiment).
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.mode import ExecutionMode
-from repro.core.system import Machine
-from repro.cpu import isa
+from repro.exp.experiments.ablations import AblationWait, channel_cpuid_us
 from repro.workloads import channels
 
-
-def _cpuid_us(placement, mechanism, iterations=20):
-    machine = Machine(mode=ExecutionMode.SW_SVT, placement=placement,
-                      wait_mechanism=mechanism)
-    machine.run_program(isa.Program([isa.cpuid()]))
-    result = machine.run_program(isa.Program([isa.cpuid()],
-                                             repeat=iterations))
-    return result.ns_per_instruction / 1000.0
+PLACEMENTS = AblationWait.PLACEMENTS
+MECHANISMS = AblationWait.MECHANISMS
 
 
 def test_ablation_wait_mechanism_and_placement(benchmark, report):
     grid = benchmark(
         lambda: {
-            (placement, mechanism): _cpuid_us(placement, mechanism)
-            for placement in ("smt", "core", "numa")
-            for mechanism in ("polling", "mwait", "mutex")
+            (placement, mechanism): channel_cpuid_us(placement, mechanism)
+            for placement in PLACEMENTS
+            for mechanism in MECHANISMS
         }
     )
 
     report("Ablation C: wait mechanism x placement", format_table(
-        ["placement"] + ["polling", "mwait", "mutex"],
+        ["placement"] + list(MECHANISMS),
         [
             (placement,
              *(f"{grid[(placement, mech)]:.2f} us"
-               for mech in ("polling", "mwait", "mutex")))
-            for placement in ("smt", "core", "numa")
+               for mech in MECHANISMS))
+            for placement in PLACEMENTS
         ],
         title="Nested cpuid with SW SVt channel variants (raw channel "
               "cost; polling interference handled in sec61 bench)",
     ))
 
     # Placement dominates: NUMA-placed channels are clearly worst.
-    for mechanism in ("polling", "mwait", "mutex"):
+    for mechanism in MECHANISMS:
         assert grid[("numa", mechanism)] > grid[("smt", mechanism)]
     # On SMT, mwait beats mutex (blocking wake is costly per trap).
     assert grid[("smt", "mwait")] < grid[("smt", "mutex")]

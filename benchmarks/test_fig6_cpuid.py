@@ -2,38 +2,25 @@
 
 import pytest
 
-from repro.analysis.report import format_table
-from repro.workloads import cpuid
-
-#: Paper Fig. 6 values (L1 is read off the figure; the rest are stated).
-PAPER = {"L0": 0.05, "L1": None, "L2": 10.40, "SW SVt": 10.40 / 1.23,
-         "HW SVt": 10.40 / 1.94}
+from repro.analysis.report import render_result
+from repro.exp import registry
+from repro.exp.registry import RunContext
 
 
 def test_fig6_cpuid_bars(benchmark, report):
-    bars = benchmark(cpuid.figure6, iterations=20)
+    experiment = registry.get("fig6")
+    ctx = RunContext.create(
+        experiment.resolve({"iterations": 20}, strict=True))
+    result = benchmark(experiment.run, ctx)
 
-    l2 = bars["L2"]
-    rows = []
-    for label, us in bars.items():
-        paper = PAPER[label]
-        rows.append((
-            label,
-            f"{us:.2f}",
-            f"{l2 / us:.2f}x" if label in ("SW SVt", "HW SVt") else "",
-            f"{us / bars['L0']:.0f}x",
-            f"{paper:.2f}" if paper else "(figure only)",
-        ))
-    report("Figure 6", format_table(
-        ["System", "Time (us)", "Speedup vs L2", "Overhead vs L0",
-         "Paper (us)"],
-        rows,
-        title="Figure 6: cpuid execution time",
-    ))
+    report("Figure 6", render_result(result))
 
-    assert bars["L2"] == pytest.approx(10.40, abs=0.02)
-    assert l2 / bars["SW SVt"] == pytest.approx(1.23, abs=0.01)
-    assert l2 / bars["HW SVt"] == pytest.approx(1.94, abs=0.01)
+    assert result.scalar("l2_us") == pytest.approx(10.40, abs=0.02)
+    assert result.scalar("sw_speedup") == pytest.approx(1.23, abs=0.01)
+    assert result.scalar("hw_speedup") == pytest.approx(1.94, abs=0.01)
     # Fig. 6 right axis: ~200x overhead of nested vs native.
-    assert bars["L2"] / bars["L0"] == pytest.approx(208, rel=0.02)
-    assert bars["L0"] < bars["L1"] < bars["HW SVt"]
+    assert result.scalar("nested_overhead_vs_l0") == pytest.approx(
+        208, rel=0.02)
+    assert (result.scalar("l0_us")
+            < result.scalar("l1_us")
+            < result.scalar("hw_svt_us"))

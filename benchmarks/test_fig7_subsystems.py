@@ -1,129 +1,107 @@
-"""Figure 7 — I/O subsystem latency and bandwidth speedups."""
+"""Figure 7 — I/O subsystem latency and bandwidth speedups.
+
+The sweep itself lives in the registered ``fig7`` experiment; the merged
+:class:`~repro.exp.result.Result` is computed once per module and each
+test benchmarks its own metric's three cells, then asserts the Result's
+scalars against the paper.
+"""
 
 import pytest
 
 from repro.analysis.report import format_table
 from repro.core.mode import ExecutionMode
-from repro.workloads import disk, netperf
+from repro.exp import registry
+from repro.exp.experiments.figures import FIG7_METRICS
+from repro.exp.registry import RunContext
 
-MODES = ExecutionMode.ALL
-
-
-def _speedups(values, higher_is_better):
-    base = values[ExecutionMode.BASELINE]
-    if higher_is_better:
-        return (values[ExecutionMode.SW_SVT] / base,
-                values[ExecutionMode.HW_SVT] / base)
-    return (base / values[ExecutionMode.SW_SVT],
-            base / values[ExecutionMode.HW_SVT])
+EXPERIMENT = registry.get("fig7")
+PARAMS = EXPERIMENT.resolve()
 
 
-def test_fig7_network_latency(benchmark, report):
-    values = benchmark(
-        lambda: {m: netperf.run_latency(m, operations=12, warmup=2)
-                 for m in MODES}
+@pytest.fixture(scope="module")
+def fig7():
+    return EXPERIMENT.run(RunContext.create(PARAMS))
+
+
+def _metric_cells(metric):
+    return {mode: EXPERIMENT.run_cell(f"{metric}:{mode}", PARAMS)
+            for mode in ExecutionMode.ALL}
+
+
+def _metric_block(result, metric):
+    label = FIG7_METRICS[metric][0]
+    table = result.tables[0]
+    row = next(r for r in table.rows if r.label == label)
+    return format_table(
+        list(table.columns) + ["Paper (base / sw / hw)"],
+        [(row.label, *row.values, row.paper)],
     )
-    sw, hw = _speedups(values, higher_is_better=False)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - network latency", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("netperf TCP_RR (us)",
-          f"{base:.0f} (paper 163)",
-          f"{sw:.2f}x (paper 1.10x)",
-          f"{hw:.2f}x (paper 2.38x)")],
-    ))
-    assert base == pytest.approx(163, rel=0.06)
-    assert sw == pytest.approx(1.10, abs=0.06)
-    assert hw == pytest.approx(2.38, abs=0.12)
 
 
-def test_fig7_network_bandwidth(benchmark, report):
-    values = benchmark(
-        lambda: {m: netperf.run_bandwidth(m) for m in MODES}
-    )
-    sw, hw = _speedups(values, higher_is_better=True)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - network bandwidth", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("netperf TCP_STREAM (Mbps)",
-          f"{base:.0f} (paper 9387)",
-          f"{sw:.2f}x (paper 1.00x)",
-          f"{hw:.2f}x (paper 1.12x)")],
-    ))
-    assert base == pytest.approx(9387, rel=0.03)
-    assert sw == pytest.approx(1.00, abs=0.05)
-    assert hw == pytest.approx(1.12, abs=0.05)
+def test_fig7_network_latency(benchmark, report, fig7):
+    benchmark(_metric_cells, "net_latency")
+    report("Figure 7 - network latency",
+           _metric_block(fig7, "net_latency"))
+    assert fig7.scalar("net_latency_base") == pytest.approx(163, rel=0.06)
+    assert fig7.scalar("net_latency_sw_speedup") == pytest.approx(
+        1.10, abs=0.06)
+    assert fig7.scalar("net_latency_hw_speedup") == pytest.approx(
+        2.38, abs=0.12)
 
 
-def test_fig7_disk_randrd_latency(benchmark, report):
-    values = benchmark(
-        lambda: {m: disk.run_latency(m, write=False, operations=10,
-                                     warmup=1) for m in MODES}
-    )
-    sw, hw = _speedups(values, higher_is_better=False)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - disk randrd latency", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("ioping 512B randrd (us)",
-          f"{base:.0f} (paper 126)",
-          f"{sw:.2f}x (paper 1.30x)",
-          f"{hw:.2f}x (paper 2.18x)")],
-    ))
-    assert base == pytest.approx(126, rel=0.06)
-    assert sw == pytest.approx(1.30, abs=0.08)
-    assert hw == pytest.approx(2.18, abs=0.25)
+def test_fig7_network_bandwidth(benchmark, report, fig7):
+    benchmark(_metric_cells, "net_bandwidth")
+    report("Figure 7 - network bandwidth",
+           _metric_block(fig7, "net_bandwidth"))
+    assert fig7.scalar("net_bandwidth_base") == pytest.approx(
+        9387, rel=0.03)
+    assert fig7.scalar("net_bandwidth_sw_speedup") == pytest.approx(
+        1.00, abs=0.05)
+    assert fig7.scalar("net_bandwidth_hw_speedup") == pytest.approx(
+        1.12, abs=0.05)
 
 
-def test_fig7_disk_randwr_latency(benchmark, report):
-    values = benchmark(
-        lambda: {m: disk.run_latency(m, write=True, operations=10,
-                                     warmup=1) for m in MODES}
-    )
-    sw, hw = _speedups(values, higher_is_better=False)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - disk randwr latency", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("ioping 512B randwr (us)",
-          f"{base:.0f} (paper 179)",
-          f"{sw:.2f}x (paper 1.05x)",
-          f"{hw:.2f}x (paper 2.26x)")],
-    ))
-    assert base == pytest.approx(179, rel=0.06)
-    assert sw == pytest.approx(1.05, abs=0.05)
-    assert hw == pytest.approx(2.26, abs=0.15)
+def test_fig7_disk_randrd_latency(benchmark, report, fig7):
+    benchmark(_metric_cells, "disk_randrd_latency")
+    report("Figure 7 - disk randrd latency",
+           _metric_block(fig7, "disk_randrd_latency"))
+    assert fig7.scalar("disk_randrd_latency_base") == pytest.approx(
+        126, rel=0.06)
+    assert fig7.scalar("disk_randrd_latency_sw_speedup") == pytest.approx(
+        1.30, abs=0.08)
+    assert fig7.scalar("disk_randrd_latency_hw_speedup") == pytest.approx(
+        2.18, abs=0.25)
 
 
-def test_fig7_disk_randrd_bandwidth(benchmark, report):
-    values = benchmark(
-        lambda: {m: disk.run_bandwidth(m, write=False) for m in MODES}
-    )
-    sw, hw = _speedups(values, higher_is_better=True)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - disk randrd bandwidth", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("fio 4KB randrd (KB/s)",
-          f"{base:.0f} (paper 87136)",
-          f"{sw:.2f}x (paper 1.55x)",
-          f"{hw:.2f}x (paper 2.31x)")],
-    ))
-    assert base == pytest.approx(87_136, rel=0.10)
-    assert 1.2 <= sw <= 1.6
-    assert 2.0 <= hw <= 2.6
+def test_fig7_disk_randwr_latency(benchmark, report, fig7):
+    benchmark(_metric_cells, "disk_randwr_latency")
+    report("Figure 7 - disk randwr latency",
+           _metric_block(fig7, "disk_randwr_latency"))
+    assert fig7.scalar("disk_randwr_latency_base") == pytest.approx(
+        179, rel=0.06)
+    assert fig7.scalar("disk_randwr_latency_sw_speedup") == pytest.approx(
+        1.05, abs=0.05)
+    assert fig7.scalar("disk_randwr_latency_hw_speedup") == pytest.approx(
+        2.26, abs=0.15)
 
 
-def test_fig7_disk_randwr_bandwidth(benchmark, report):
-    values = benchmark(
-        lambda: {m: disk.run_bandwidth(m, write=True) for m in MODES}
-    )
-    sw, hw = _speedups(values, higher_is_better=True)
-    base = values[ExecutionMode.BASELINE]
-    report("Figure 7 - disk randwr bandwidth", format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt"],
-        [("fio 4KB randwr (KB/s)",
-          f"{base:.0f} (paper 55769)",
-          f"{sw:.2f}x (paper 1.18x)",
-          f"{hw:.2f}x (paper 2.60x)")],
-    ))
-    assert base == pytest.approx(55_769, rel=0.05)
-    assert sw == pytest.approx(1.18, abs=0.06)
-    assert hw == pytest.approx(2.60, abs=0.15)
+def test_fig7_disk_randrd_bandwidth(benchmark, report, fig7):
+    benchmark(_metric_cells, "disk_randrd_bandwidth")
+    report("Figure 7 - disk randrd bandwidth",
+           _metric_block(fig7, "disk_randrd_bandwidth"))
+    assert fig7.scalar("disk_randrd_bandwidth_base") == pytest.approx(
+        87_136, rel=0.10)
+    assert 1.2 <= fig7.scalar("disk_randrd_bandwidth_sw_speedup") <= 1.6
+    assert 2.0 <= fig7.scalar("disk_randrd_bandwidth_hw_speedup") <= 2.6
+
+
+def test_fig7_disk_randwr_bandwidth(benchmark, report, fig7):
+    benchmark(_metric_cells, "disk_randwr_bandwidth")
+    report("Figure 7 - disk randwr bandwidth",
+           _metric_block(fig7, "disk_randwr_bandwidth"))
+    assert fig7.scalar("disk_randwr_bandwidth_base") == pytest.approx(
+        55_769, rel=0.05)
+    assert fig7.scalar("disk_randwr_bandwidth_sw_speedup") == pytest.approx(
+        1.18, abs=0.06)
+    assert fig7.scalar("disk_randwr_bandwidth_hw_speedup") == pytest.approx(
+        2.60, abs=0.15)

@@ -2,45 +2,26 @@
 
 import pytest
 
-from repro.analysis.report import format_table
-from repro.core.mode import ExecutionMode
-from repro.workloads import memcached
+from repro.analysis.report import render_result
+from repro.exp import registry
+from repro.exp.registry import RunContext
 
 
 def test_fig8_memcached_curves(benchmark, report):
-    def sweep():
-        return (
-            memcached.run(ExecutionMode.BASELINE, requests=20_000),
-            memcached.run(ExecutionMode.SW_SVT, requests=20_000),
-        )
+    experiment = registry.get("fig8")
+    ctx = RunContext.create(
+        experiment.resolve({"requests": 20_000}, strict=True))
+    result = benchmark(experiment.run, ctx)
 
-    baseline, svt = benchmark(sweep)
+    report("Figure 8", render_result(result))
 
-    rows = [
-        (f"{b.offered_kqps:.1f}",
-         f"{b.avg_us:.0f}", f"{b.p99_us:.0f}",
-         f"{s.avg_us:.0f}", f"{s.p99_us:.0f}")
-        for b, s in zip(baseline.points, svt.points)
-    ]
-    p99_ratio, avg_ratio = memcached.headline_improvements(baseline, svt)
-    rendered = format_table(
-        ["kQPS", "base avg", "base p99", "SVt avg", "SVt p99"],
-        rows,
-        title="Figure 8: memcached latency (us) vs offered load, "
-              "SLA 500 us",
-    )
-    rendered += (
-        f"\np99 improvement within SLA: {p99_ratio:.2f}x (paper 2.20x)"
-        f"\navg improvement:            {avg_ratio:.2f}x (paper 1.43x)"
-        f"\nmax in-SLA load: baseline {baseline.max_load_within_sla():.1f}"
-        f" kQPS, SVt {svt.max_load_within_sla():.1f} kQPS"
-    )
-    report("Figure 8", rendered)
-
-    assert p99_ratio == pytest.approx(2.20, abs=0.35)
-    assert avg_ratio == pytest.approx(1.43, abs=0.25)
-    assert svt.max_load_within_sla() > baseline.max_load_within_sla()
+    assert result.scalar("p99_improvement") == pytest.approx(
+        2.20, abs=0.35)
+    assert result.scalar("avg_improvement") == pytest.approx(
+        1.43, abs=0.25)
+    assert (result.scalar("svt_max_kqps_in_sla")
+            > result.scalar("base_max_kqps_in_sla"))
     # Latency-vs-load curves rise monotonically (open-loop saturation).
-    for result in (baseline, svt):
-        p99s = [point.p99_us for point in result.points]
+    for series in result.series:
+        p99s = [y for _x, y in series.points]
         assert p99s == sorted(p99s)

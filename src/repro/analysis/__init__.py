@@ -9,12 +9,13 @@ from repro.analysis.breakdown import (
 from repro.analysis.figures import bar_chart, grouped_bar_chart, line_plot
 from repro.analysis.hw_model import predicted_speedup, scale_sw_to_hw
 from repro.analysis.loc import audit as loc_audit
-from repro.analysis.report import format_table, speedup_row
+from repro.analysis.report import format_table, render_result, speedup_row
 
 __all__ = [
     "bar_chart",
     "exit_reason_profile",
     "format_table",
+    "render_result",
     "grouped_bar_chart",
     "line_plot",
     "loc_audit",

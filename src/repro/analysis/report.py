@@ -1,7 +1,9 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Plain-text rendering: tables, and whole experiment ``Result``s.
 
 The benchmarks print measured-vs-paper rows; keeping the formatting here
-makes the bench files read like the paper's tables.
+makes the bench files read like the paper's tables.  :func:`render_result`
+is the pure renderer the CLI uses over the experiment runtime's
+structured results — no experiment logic lives here, only presentation.
 """
 
 
@@ -41,3 +43,45 @@ def speedup_row(label, baseline_value, measured, paper, unit=""):
 def fmt_us(ns):
     """Nanoseconds -> 'X.XX us' string."""
     return f"{ns / 1000.0:.2f} us"
+
+
+def _render_table(table):
+    """One structured table -> text (plain grid or horizontal bars)."""
+    from repro.analysis.figures import bar_chart
+
+    if table.kind == "bars":
+        return bar_chart(
+            [(row.label, row.values[0]) for row in table.rows],
+            unit=table.unit,
+            title=table.title,
+        )
+    with_paper = any(row.paper for row in table.rows)
+    columns = list(table.columns) + (["Paper"] if with_paper else [])
+    rows = [
+        (row.label, *row.values) + ((row.paper,) if with_paper else ())
+        for row in table.rows
+    ]
+    return format_table(columns, rows, title=table.title)
+
+
+def render_result(result):
+    """Render a :class:`repro.exp.result.Result` as terminal text.
+
+    Pure presentation: tables (or bar groups), then any series as a
+    line plot (render hints come from ``result.meta``), then the notes.
+    """
+    from repro.analysis.figures import line_plot
+
+    blocks = [_render_table(table) for table in result.tables]
+    if result.series:
+        hints = result.meta_dict
+        blocks.append(line_plot(
+            {series.name: list(series.points)
+             for series in result.series},
+            y_ceiling=hints.get("y_ceiling"),
+            x_label=hints.get("x_label", ""),
+            y_label=hints.get("y_label", ""),
+            title=hints.get("plot_title"),
+        ))
+    blocks.extend(result.notes)
+    return "\n\n".join(blocks)

@@ -1,290 +1,128 @@
 """Command-line interface: reproduce any paper experiment directly.
 
+Every experiment comes from the registry (``repro.exp``), so ``all``,
+``list``, the JSON output and the cache cover exactly the registered
+set — nothing can be silently dropped.
+
 ::
 
+    python -m repro list              # every registered experiment
     python -m repro table1            # Table 1 breakdown
     python -m repro fig6              # cpuid bars
-    python -m repro fig7              # all six I/O rows
     python -m repro fig8 --seed 11    # memcached sweep
-    python -m repro fig9
-    python -m repro fig10
-    python -m repro sec61             # channel microbenchmarks
-    python -m repro deep              # deep-nesting extension
-    python -m repro coexist           # SVt/SMT coexistence extension
-    python -m repro all               # everything
+    python -m repro fig7 --json       # structured result on stdout
+    python -m repro all --jobs 4      # everything, fanned out over 4 procs
+    python -m repro all --json --jobs 4 --no-cache
+    python -m repro smoke             # runtime baseline -> results/
+
+Results are cached under ``results/cache/`` keyed by (experiment,
+params, cost-model fingerprint, code version); ``--no-cache`` forces
+recomputation, and any edit to the simulator or cost model invalidates
+automatically.
 """
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.analysis.report import format_table
-from repro.core.mode import ExecutionMode
-
-
-def _cmd_table1(args):
-    from repro.workloads import cpuid
-
-    rows = cpuid.table1_breakdown(iterations=args.iterations)
-    print(format_table(
-        ["Part", "Time (us)", "Perc. (%)"],
-        [(label, f"{us:.2f}", f"{pct:.2f}") for label, us, pct in rows],
-        title="Table 1: nested cpuid breakdown (baseline, "
-              "paper total 10.40 us)",
-    ))
-
-
-def _cmd_table3(args):
-    from repro.analysis.loc import PAPER, audit
-
-    ours = audit()
-    rows = [
-        (role, f"+{added}/-{removed}", f"{ours[role]} LoC")
-        for role, (added, removed) in PAPER.items()
-    ]
-    print(format_table(["Codebase", "Paper", "This repo"], rows,
-                       title="Table 3: prototype footprint"))
-
-
-def _cmd_table4(args):
-    from repro.config import paper_machine
-
-    print(format_table(["Level", "Description"],
-                       paper_machine().describe(),
-                       title="Table 4: machine parameters"))
-
-
-def _cmd_fig6(args):
-    from repro.analysis.figures import bar_chart
-    from repro.workloads import cpuid
-
-    bars = cpuid.figure6(iterations=args.iterations)
-    print(bar_chart(
-        [(label, round(us, 2)) for label, us in bars.items()],
-        unit=" us",
-        title="Figure 6: cpuid execution time "
-              "(paper: SW 1.23x, HW 1.94x)",
-    ))
-
-
-def _cmd_fig7(args):
-    from repro.workloads import disk, netperf
-
-    modes = ExecutionMode.ALL
-    rows = []
-
-    def add(label, values, higher, paper):
-        base = values[ExecutionMode.BASELINE]
-        if higher:
-            sw = values[ExecutionMode.SW_SVT] / base
-            hw = values[ExecutionMode.HW_SVT] / base
-        else:
-            sw = base / values[ExecutionMode.SW_SVT]
-            hw = base / values[ExecutionMode.HW_SVT]
-        rows.append((label, f"{base:.0f}", f"{sw:.2f}x", f"{hw:.2f}x",
-                     paper))
-
-    add("Network latency (us)",
-        {m: netperf.run_latency(m, operations=12) for m in modes},
-        False, "163 / 1.10 / 2.38")
-    add("Network bandwidth (Mbps)",
-        {m: netperf.run_bandwidth(m) for m in modes},
-        True, "9387 / 1.00 / 1.12")
-    add("Disk randrd latency (us)",
-        {m: disk.run_latency(m, write=False, operations=10)
-         for m in modes},
-        False, "126 / 1.30 / 2.18")
-    add("Disk randwr latency (us)",
-        {m: disk.run_latency(m, write=True, operations=10)
-         for m in modes},
-        False, "179 / 1.05 / 2.26")
-    add("Disk randrd bandwidth (KB/s)",
-        {m: disk.run_bandwidth(m, write=False) for m in modes},
-        True, "87136 / 1.55 / 2.31")
-    add("Disk randwr bandwidth (KB/s)",
-        {m: disk.run_bandwidth(m, write=True) for m in modes},
-        True, "55769 / 1.18 / 2.60")
-
-    print(format_table(
-        ["Metric", "Baseline", "SW SVt", "HW SVt", "Paper"],
-        rows, title="Figure 7: I/O subsystems",
-    ))
-
-
-def _cmd_fig8(args):
-    from repro.analysis.figures import line_plot
-    from repro.workloads import memcached
-
-    baseline = memcached.run(ExecutionMode.BASELINE, seed=args.seed)
-    svt = memcached.run(ExecutionMode.SW_SVT, seed=args.seed)
-    print(format_table(
-        ["kQPS", "base avg", "base p99", "SVt avg", "SVt p99"],
-        [
-            (f"{b.offered_kqps:.1f}", f"{b.avg_us:.0f}",
-             f"{b.p99_us:.0f}", f"{s.avg_us:.0f}", f"{s.p99_us:.0f}")
-            for b, s in zip(baseline.points, svt.points)
-        ],
-        title="Figure 8: memcached latency (us) vs load, SLA 500 us",
-    ))
-    print()
-    print(line_plot(
-        {
-            "baseline p99": [(p.offered_kqps, p.p99_us)
-                             for p in baseline.points],
-            "SVt p99": [(p.offered_kqps, p.p99_us)
-                        for p in svt.points],
-        },
-        y_ceiling=1000, x_label="kQPS", y_label=" us",
-        title="p99 latency vs offered load (clamped at 1000 us)",
-    ))
-    p99, avg = memcached.headline_improvements(baseline, svt)
-    print(f"p99 within SLA: {p99:.2f}x (paper 2.20x); avg: {avg:.2f}x "
-          "(paper 1.43x)")
-
-
-def _cmd_fig9(args):
-    from repro.workloads import tpcc
-
-    base = tpcc.run(ExecutionMode.BASELINE)
-    svt = tpcc.run(ExecutionMode.SW_SVT)
-    print(format_table(
-        ["System", "ktpm", "Speedup"],
-        [("Baseline", f"{base.ktpm:.2f}", "1.00x"),
-         ("SVt", f"{svt.ktpm:.2f}", f"{svt.ktpm / base.ktpm:.2f}x")],
-        title="Figure 9: TPC-C (paper: 6.37 ktpm, 1.18x)",
-    ))
-
-
-def _cmd_fig10(args):
-    from repro.workloads import video
-
-    grid = video.figure10(seed=args.seed)
-    print(format_table(
-        ["Rate", "Baseline drops", "SVt drops", "Paper (base/SVt)"],
-        [
-            (f"{fps} FPS",
-             str(grid[fps][ExecutionMode.BASELINE].dropped),
-             str(grid[fps][ExecutionMode.SW_SVT].dropped),
-             f"{video.PAPER[fps]['baseline']}/{video.PAPER[fps]['svt']}")
-            for fps in (24, 60, 120)
-        ],
-        title="Figure 10: dropped frames over 5 min",
-    ))
-
-
-def _cmd_sec61(args):
-    from repro.workloads import channels
-
-    sweep = channels.sweep()
-    print("Sec. 6.1 observations:")
-    for name, holds in sweep.observations.items():
-        print(f"  {name:<28s} {'OK' if holds else 'FAIL'}")
-    baseline_us, impacts = channels.cpuid_with_mechanisms()
-    print(f"\nnested cpuid, baseline {baseline_us:.2f} us:")
-    for impact in impacts:
-        print(f"  {impact.mechanism:<8s} {impact.cpuid_us:6.2f} us "
-              f"({impact.speedup_vs_baseline:.2f}x)")
-
-
-def _cmd_deep(args):
-    from repro.virt.deep import DeepNestingModel
-
-    model = DeepNestingModel()
-    print(format_table(
-        ["Trap from", "baseline (us)", "SVt (us)", "speedup"],
-        [
-            (f"L{d}", f"{b:.2f}", f"{s:.2f}", f"{x:.2f}x")
-            for d, b, s, x in model.table(max_depth=args.depth)
-        ],
-        title="Deep nesting extension (aux/reflection = 2)",
-    ))
-
-
-def _cmd_coexist(args):
-    from repro.core.coexist import CoexistConfig, crossover_trap_rate
-
-    config = CoexistConfig()
-    print(f"SVt overtakes SMT above {crossover_trap_rate(config):,.0f} "
-          f"nested traps/s (SMT yield {config.smt_yield:.2f}x)")
-
-
-def _cmd_l3(args):
-    from repro.core.system import Machine
-    from repro.cpu import isa
-    from repro.virt.hypervisor import MSR_TSC_DEADLINE
-    from repro.virt.l3 import install_third_level
-
-    rows = []
-    for mode in ExecutionMode.ALL:
-        stack = install_third_level(Machine(mode=mode))
-        cpuid_ns, _ = stack.run_program(
-            isa.Program([isa.cpuid()], repeat=4))
-        timer_ns, _ = stack.run_program(
-            isa.Program([isa.wrmsr(MSR_TSC_DEADLINE, 10**9)], repeat=4))
-        rows.append((mode, f"{cpuid_ns / 4000:.2f}",
-                     f"{timer_ns / 4000:.2f}"))
-    print(format_table(
-        ["Mode", "L3 cpuid (us)", "L3 timer write (us)"],
-        rows,
-        title="Functional third level (privileged L2 ops recurse as "
-              "depth-2 exits)",
-    ))
-
-
-def _cmd_related(args):
-    from repro.core.related_work import speedup_table
-
-    print(format_table(
-        ["Technique", "op (us)", "Speedup", "Caveats"],
-        [(name, f"{us:.1f}", f"{speedup:.2f}x", caveats)
-         for name, us, speedup, caveats in speedup_table()],
-        title="Sec. 7 alternatives on one nested I/O operation",
-    ))
-
-
-_COMMANDS = {
-    "table1": _cmd_table1,
-    "table3": _cmd_table3,
-    "table4": _cmd_table4,
-    "fig6": _cmd_fig6,
-    "fig7": _cmd_fig7,
-    "fig8": _cmd_fig8,
-    "fig9": _cmd_fig9,
-    "fig10": _cmd_fig10,
-    "sec61": _cmd_sec61,
-    "deep": _cmd_deep,
-    "l3": _cmd_l3,
-    "coexist": _cmd_coexist,
-    "related": _cmd_related,
-}
+from repro.exp import registry, runner
+from repro.exp.cache import ResultCache, default_cache_dir
+from repro.exp.result import canonical_json
 
 
 def build_parser():
+    registry.ensure_loaded()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce experiments from 'Using SMT to Accelerate "
                     "Nested Virtualization' (ISCA'19)",
     )
     parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all"],
-                        help="which table/figure to regenerate")
+                        choices=registry.names() + ["all", "list",
+                                                    "smoke"],
+                        help="which table/figure to regenerate, 'all' "
+                             "for every registered experiment, 'list' "
+                             "to enumerate them, 'smoke' for a fast "
+                             "runtime baseline")
     parser.add_argument("--seed", type=int, default=7,
                         help="workload RNG seed (default 7)")
-    parser.add_argument("--iterations", type=int, default=50,
-                        help="microbenchmark iterations (default 50)")
-    parser.add_argument("--depth", type=int, default=5,
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="microbenchmark iterations (default: "
+                             "per-experiment)")
+    parser.add_argument("--depth", type=int, default=None,
                         help="max nesting depth for 'deep' (default 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit structured results as canonical JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent cells out over N worker "
+                             "processes (default 1; output is "
+                             "byte-identical at any N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't write the result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result cache location (default "
+                             "results/cache/)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="for 'smoke': output path (default "
+                             "results/runtime_smoke.json)")
     return parser
+
+
+def _cmd_list():
+    from repro.analysis.report import format_table
+
+    rows = [
+        (experiment.name, experiment.title, experiment.description)
+        for experiment in registry.experiments()
+    ]
+    print(format_table(["Name", "Title", "Description"], rows,
+                       title="Registered experiments"))
+    return 0
+
+
+def _cmd_smoke(args):
+    doc = runner.runtime_smoke(jobs=args.jobs if args.jobs > 1 else 4)
+    out = args.out or default_cache_dir().parent / "runtime_smoke.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(canonical_json(doc))
+    totals = doc["totals"]
+    print(f"runtime smoke: serial {totals['serial_wall_s']:.2f}s, "
+          f"--jobs {doc['jobs']} {totals['parallel_wall_s']:.2f}s "
+          f"({totals['speedup']:.2f}x) -> {out}")
+    return 0
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    if args.experiment == "all":
-        for name in ("table1", "table4", "fig6", "fig7", "fig8", "fig9",
-                     "fig10", "sec61", "deep", "coexist"):
-            print(f"\n=== {name} " + "=" * (70 - len(name)))
-            _COMMANDS[name](args)
+    if args.experiment == "list":
+        return _cmd_list()
+    if args.experiment == "smoke":
+        return _cmd_smoke(args)
+
+    names = (registry.names() if args.experiment == "all"
+             else [args.experiment])
+    overrides = {"seed": args.seed, "iterations": args.iterations,
+                 "depth": args.depth}
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = runner.run_experiments(names, overrides=overrides,
+                                    jobs=args.jobs, cache=cache)
+
+    if cache is not None:
+        print(f"cache: served {len(report.served)}, "
+              f"computed {len(report.computed)} "
+              f"({cache.root})", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(report.to_json())
         return 0
-    _COMMANDS[args.experiment](args)
+
+    from repro.analysis.report import render_result
+
+    for run in report.runs:
+        if args.experiment == "all":
+            cached = " (cached)" if run.cached else ""
+            print(f"\n=== {run.name}{cached} "
+                  + "=" * max(1, 68 - len(run.name) - len(cached)))
+        print(render_result(run.result))
     return 0
 
 

@@ -1,0 +1,13 @@
+"""Registered experiments: every paper artifact plus the ablations.
+
+Importing this package populates the registry (each module registers its
+experiments at import time); ``repro.exp.registry.ensure_loaded`` does it
+lazily for every entry point.
+"""
+
+from repro.exp.experiments import (  # noqa: F401  (register on import)
+    ablations,
+    figures,
+    sections,
+    tables,
+)

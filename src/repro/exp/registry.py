@@ -1,0 +1,151 @@
+"""Experiment base class and decorator-based registry.
+
+Every paper artifact (tables, figures, section studies, ablations) is an
+:class:`Experiment` subclass registered with :func:`register`.  The CLI,
+the parallel runner, the cache and the benchmarks all look experiments up
+here, so an experiment added once is automatically part of
+``python -m repro all``, ``list``, the JSON output and the smoke run —
+nothing can be silently dropped from ``all`` again.
+
+An experiment declares:
+
+* ``name`` / ``title`` / ``description`` — identity and one-line docs.
+* ``defaults`` — its parameter schema as ``{name: default}``; callers may
+  only override declared parameters (typos fail loudly).
+* ``smoke`` — parameter overrides for fast smoke runs.
+* ``cells(params)`` — the independent units of work (mode, sweep point,
+  seed...); the runner fans cells out across processes.
+* ``run_cell(cell, params)`` — compute one cell; must return plain
+  picklable data and must not share simulator state with other cells.
+* ``merge(params, payloads)`` — assemble the cells (always presented in
+  ``cells()`` order, regardless of completion order) into a
+  :class:`~repro.exp.result.Result`.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+_REGISTRY = {}
+_LOADED = False
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """What an experiment run sees: its resolved parameters."""
+
+    params: tuple = ()
+
+    @classmethod
+    def create(cls, params=None):
+        params = params or {}
+        return cls(params=tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self):
+        return dict(self.params)
+
+    def get(self, key, default=None):
+        return dict(self.params).get(key, default)
+
+    def __getitem__(self, key):
+        return dict(self.params)[key]
+
+
+class Experiment:
+    """Base class for registered experiments."""
+
+    name = None
+    title = ""
+    description = ""
+    defaults = {}
+    smoke = {}
+
+    # -- parameters ------------------------------------------------------
+
+    def resolve(self, overrides=None, strict=False):
+        """Defaults merged with ``overrides``.
+
+        Unknown override keys are ignored unless ``strict`` (the CLI
+        passes one shared namespace to every experiment; tests pass
+        ``strict=True`` to catch typos).
+        """
+        params = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key in self.defaults:
+                if value is not None:
+                    params[key] = value
+            elif strict:
+                raise ConfigError(
+                    f"experiment {self.name!r} has no parameter {key!r}"
+                )
+        return params
+
+    # -- execution -------------------------------------------------------
+
+    def cells(self, params):
+        """Independent work units; override to enable parallel fan-out."""
+        return ("all",)
+
+    def run_cell(self, cell, params):
+        raise NotImplementedError
+
+    def merge(self, params, payloads):
+        raise NotImplementedError
+
+    def run(self, ctx):
+        """Serial reference path: run every cell in order, then merge."""
+        params = ctx.params_dict
+        payloads = {
+            cell: self.run_cell(cell, params)
+            for cell in self.cells(params)
+        }
+        return self.merge(params, payloads)
+
+
+def register(cls):
+    """Class decorator: instantiate and add to the registry."""
+    if not issubclass(cls, Experiment):
+        raise ConfigError(f"{cls!r} is not an Experiment subclass")
+    if not cls.name:
+        raise ConfigError(f"experiment class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ConfigError(f"duplicate experiment name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def unregister(name):
+    """Remove an experiment (test hook)."""
+    _REGISTRY.pop(name, None)
+
+
+def ensure_loaded():
+    """Import the bundled experiment modules exactly once."""
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        import repro.exp.experiments  # noqa: F401  (side effect: register)
+
+
+def get(name):
+    """Look an experiment up by name."""
+    ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names():
+    """Sorted names of every registered experiment."""
+    ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def experiments():
+    """All registered experiments, sorted by name."""
+    ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,219 @@
+"""Parallel experiment runner with deterministic assembly.
+
+The unit of parallelism is a *cell*: one (experiment, mode, seed,
+sweep-point) combination as declared by ``Experiment.cells``.  Cells are
+independent by contract — each builds its own ``Machine``; no simulator
+state crosses a cell boundary — so they fan out over a
+``ProcessPoolExecutor`` with ``--jobs N``.
+
+Determinism: payloads are merged strictly in ``cells()`` order and
+experiments are assembled in sorted-name order, so the output document is
+byte-identical whether cells ran serially, in any interleaving, or on any
+number of workers.  Wall-clock timings are collected alongside but kept
+*out* of the result document (they go to ``results/runtime_smoke.json``
+via :func:`runtime_smoke`).
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exp import registry
+from repro.exp.cache import ResultCache, code_fingerprint, \
+    cost_model_fingerprint
+from repro.exp.result import canonical_json
+
+#: Top-level schema of the ``--json`` document.
+DOCUMENT_SCHEMA = "repro-results/1"
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One experiment's outcome inside a batch run."""
+
+    name: str
+    result: object
+    cached: bool
+    seconds: float          # summed cell compute time (0.0 when cached)
+
+
+@dataclass
+class RunReport:
+    """Everything a batch run produced."""
+
+    runs: list = field(default_factory=list)
+    jobs: int = 1
+    cache_dir: str = ""
+    cache_enabled: bool = False
+    cache_keys: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def results(self):
+        return {run.name: run.result for run in self.runs}
+
+    @property
+    def served(self):
+        return sorted(run.name for run in self.runs if run.cached)
+
+    @property
+    def computed(self):
+        return sorted(run.name for run in self.runs if not run.cached)
+
+    def to_document(self):
+        """The ``--json`` document — a pure function of the experiment
+        set and code state, never of scheduling or cache temperature.
+
+        ``meta.cache.entries`` maps each experiment to the cache key
+        that backs its result; a freshly computed result is stored under
+        that key before the document is emitted, so a cold ``--jobs 4``
+        run, a warm ``--jobs 1`` run and any rerun in between are
+        byte-identical.  The per-invocation hit/miss split stays out of
+        the document (the CLI reports it on stderr) precisely to keep
+        that property; ``RunReport.served``/``computed`` expose it
+        programmatically.
+        """
+        return {
+            "schema": DOCUMENT_SCHEMA,
+            "code_fingerprint": code_fingerprint(),
+            "cost_model_fingerprint": cost_model_fingerprint(),
+            "experiments": {
+                run.name: run.result.to_dict() for run in self.runs
+            },
+            "meta": {
+                "cache": {
+                    "enabled": self.cache_enabled,
+                    "dir": self.cache_dir,
+                    "entries": dict(sorted(self.cache_keys.items())),
+                },
+            },
+        }
+
+    def to_json(self):
+        return canonical_json(self.to_document())
+
+
+def _execute_cell(name, cell, params):
+    """Worker entry point: one cell in a fresh simulator.
+
+    Module-level so it pickles; re-resolves the experiment through the
+    registry so it also works under the ``spawn`` start method.
+    """
+    experiment = registry.get(name)
+    started = time.perf_counter()
+    payload = experiment.run_cell(cell, params)
+    return name, cell, payload, time.perf_counter() - started
+
+
+def run_experiments(names, overrides=None, jobs=1, cache=None,
+                    smoke=False):
+    """Run a batch of experiments, reusing cached results.
+
+    ``names`` is any iterable of registered names; ``overrides`` is one
+    shared parameter namespace (each experiment takes only what it
+    declares); ``cache=None`` disables caching; ``smoke`` applies each
+    experiment's fast-run parameter overrides first.
+    """
+    started = time.perf_counter()
+    names = sorted(dict.fromkeys(names))
+    report = RunReport(
+        jobs=max(1, int(jobs)),
+        cache_dir=str(cache.root) if cache else "",
+        cache_enabled=cache is not None,
+    )
+
+    plans = []          # (name, experiment, params) needing computation
+    finished = {}       # name -> ExperimentRun
+    for name in names:
+        experiment = registry.get(name)
+        params = dict(experiment.defaults)
+        if smoke:
+            params.update(experiment.smoke)
+        for key, value in (overrides or {}).items():
+            if key in experiment.defaults and value is not None:
+                params[key] = value
+        if cache is not None:
+            report.cache_keys[name] = cache.key(name, params)
+            hit = cache.load(name, params)
+            if hit is not None:
+                finished[name] = ExperimentRun(name, hit, True, 0.0)
+                continue
+        plans.append((name, experiment, params))
+
+    cells = [
+        (name, cell, params)
+        for name, experiment, params in plans
+        for cell in experiment.cells(params)
+    ]
+
+    payloads = {}       # (name, cell) -> payload
+    seconds = {}        # name -> summed cell seconds
+    if report.jobs > 1 and len(cells) > 1:
+        with ProcessPoolExecutor(max_workers=report.jobs) as pool:
+            outcomes = pool.map(
+                _execute_cell,
+                [c[0] for c in cells],
+                [c[1] for c in cells],
+                [c[2] for c in cells],
+            )
+            for name, cell, payload, took in outcomes:
+                payloads[(name, cell)] = payload
+                seconds[name] = seconds.get(name, 0.0) + took
+    else:
+        for name, cell, params in cells:
+            _, _, payload, took = _execute_cell(name, cell, params)
+            payloads[(name, cell)] = payload
+            seconds[name] = seconds.get(name, 0.0) + took
+
+    for name, experiment, params in plans:
+        ordered = {
+            cell: payloads[(name, cell)]
+            for cell in experiment.cells(params)
+        }
+        result = experiment.merge(params, ordered)
+        if cache is not None:
+            cache.store(name, params, result)
+        finished[name] = ExperimentRun(name, result,
+                                       False, seconds.get(name, 0.0))
+
+    report.runs = [finished[name] for name in names]
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def runtime_smoke(names=None, jobs=4, overrides=None):
+    """Wall-clock baseline: every experiment serial vs parallel.
+
+    Runs the whole registry twice with smoke parameters and no cache —
+    once with ``--jobs 1`` and once with ``--jobs N`` — and returns a
+    JSON-ready document recording per-experiment compute time and the
+    serial/parallel wall-clock, seeding the perf trajectory
+    (``results/runtime_smoke.json``).
+    """
+    names = sorted(names or registry.names())
+    serial = run_experiments(names, overrides=overrides, jobs=1,
+                             cache=None, smoke=True)
+    parallel = run_experiments(names, overrides=overrides, jobs=jobs,
+                               cache=None, smoke=True)
+    parallel_seconds = {run.name: run.seconds for run in parallel.runs}
+    per_experiment = {}
+    for run in serial.runs:
+        experiment = registry.get(run.name)
+        smoke_params = {**experiment.defaults, **experiment.smoke}
+        per_experiment[run.name] = {
+            "serial_s": round(run.seconds, 4),
+            "parallel_cell_s": round(parallel_seconds[run.name], 4),
+            "cells": len(experiment.cells(smoke_params)),
+        }
+    return {
+        "schema": "repro-runtime-smoke/1",
+        "jobs": parallel.jobs,
+        "experiments": per_experiment,
+        "totals": {
+            "serial_wall_s": round(serial.wall_seconds, 4),
+            "parallel_wall_s": round(parallel.wall_seconds, 4),
+            "speedup": round(
+                serial.wall_seconds / parallel.wall_seconds, 2
+            ) if parallel.wall_seconds else 0.0,
+        },
+    }

@@ -24,18 +24,25 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Cancellation token returned by :meth:`Simulator.at`/``after``."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, owner=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self):
         """Prevent the callback from firing; safe to call repeatedly."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Keep the owning simulator's live-event counter exact; an
+            # already-fired event has detached itself (owner is None).
+            if self._owner is not None:
+                self._owner._pending -= 1
+                self._owner = None
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,6 +59,7 @@ class Simulator:
         self.now = 0
         self._queue = []
         self._seq = 0
+        self._pending = 0
         self._firing = False
 
     # -- scheduling ------------------------------------------------------
@@ -62,8 +70,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, owner=self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -103,6 +112,8 @@ class Simulator:
             if target is not None and head.time > target:
                 break
             heapq.heappop(self._queue)
+            self._pending -= 1
+            head._owner = None
             self.now = head.time
             head.callback(*head.args)
         if target is not None and target > self.now:
@@ -117,8 +128,14 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of non-cancelled scheduled events."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of non-cancelled scheduled events.
+
+        O(1): a live counter maintained by :meth:`at`,
+        :meth:`EventHandle.cancel` and the firing paths — this sits on
+        the hot path of long runs (devices poll it between bursts), so
+        it must not scan the heap.
+        """
+        return self._pending
 
     # -- internals -------------------------------------------------------
 
@@ -132,5 +149,7 @@ class Simulator:
             if head.time > target:
                 break
             heapq.heappop(self._queue)
+            self._pending -= 1
+            head._owner = None
             self.now = head.time
             head.callback(*head.args)
