@@ -13,13 +13,21 @@ bench-smoke:
 	$(PYTHON) -m repro smoke
 	$(PYTHON) -m repro all --json --jobs 4 > /dev/null
 
-# ruff is optional in the offline evaluation image; skip quietly when
-# it is not installed.
+# Three gates, strictest first.  svtlint ships with the repo and always
+# runs; ruff and mypy are optional in the offline evaluation image and
+# are skipped quietly when not installed.  Any finding from any
+# installed gate exits nonzero so CI can rely on `make lint`.
 lint:
+	$(PYTHON) -m repro lint
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
-		echo "ruff not installed; skipping lint"; \
+		echo "ruff not installed; skipping ruff"; \
+	fi
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping mypy"; \
 	fi
 
 clean:

@@ -28,6 +28,8 @@ def removable_context_switch_ns(tracer):
     )
 
 
+# paper: §6 — share of interrupt-delivery time that is scheduler wakeup
+# (HW SVt resumes a stalled hardware context instead of waking a thread).
 def scale_sw_to_hw(tracer, interrupt_wake_share=0.85):
     """Predicted HW SVt time from a SW SVt (or baseline) trace.
 

@@ -14,6 +14,7 @@ set — nothing can be silently dropped.
     python -m repro all --jobs 4      # everything, fanned out over 4 procs
     python -m repro all --json --jobs 4 --no-cache
     python -m repro smoke             # runtime baseline -> results/
+    python -m repro lint              # svtlint invariant checker
 
 Results are cached under ``results/cache/`` keyed by (experiment,
 params, cost-model fingerprint, code version); ``--no-cache`` forces
@@ -39,11 +40,12 @@ def build_parser():
     )
     parser.add_argument("experiment",
                         choices=registry.names() + ["all", "list",
-                                                    "smoke"],
+                                                    "smoke", "lint"],
                         help="which table/figure to regenerate, 'all' "
                              "for every registered experiment, 'list' "
                              "to enumerate them, 'smoke' for a fast "
-                             "runtime baseline")
+                             "runtime baseline, 'lint' for the svtlint "
+                             "invariant checker")
     parser.add_argument("--seed", type=int, default=7,
                         help="workload RNG seed (default 7)")
     parser.add_argument("--iterations", type=int, default=None,
@@ -93,6 +95,14 @@ def _cmd_smoke(args):
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Dispatch before parsing: lint has its own flag namespace
+        # (--format, --rules, paths) that the experiment parser must
+        # not see.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()

@@ -28,8 +28,7 @@ class FleetResult:
     def utilization(self):
         if self.makespan_ns == 0:
             return 0.0
-        capacity = self.total_busy_ns / self.makespan_ns
-        return capacity
+        return self.total_busy_ns / self.makespan_ns
 
 
 class Fleet:

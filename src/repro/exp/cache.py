@@ -16,11 +16,14 @@ Entries are one JSON file per (experiment, key) holding the serialized
 Corrupt or stale-schema entries read as misses.
 """
 
+from __future__ import annotations
+
 import dataclasses
 import hashlib
 import json
 from functools import lru_cache
 from pathlib import Path
+from typing import Any, Mapping, Optional, Union
 
 from repro.cpu.costs import CostModel
 from repro.exp.result import Result, canonical_json
@@ -28,14 +31,14 @@ from repro.exp.result import Result, canonical_json
 SCHEMA = "repro-cache/1"
 
 
-def default_cache_dir():
+def default_cache_dir() -> Path:
     """``<repo>/results/cache`` next to the installed package."""
     import repro
 
     return Path(repro.__file__).resolve().parents[2] / "results" / "cache"
 
 
-def cost_model_fingerprint():
+def cost_model_fingerprint() -> str:
     """Digest of every default timing constant."""
     doc = dataclasses.asdict(CostModel())
     payload = json.dumps(doc, sort_keys=True).encode()
@@ -43,7 +46,7 @@ def cost_model_fingerprint():
 
 
 @lru_cache(maxsize=1)
-def code_fingerprint():
+def code_fingerprint() -> str:
     """Content hash over every ``repro`` source file (path + bytes)."""
     import repro
 
@@ -58,15 +61,16 @@ def code_fingerprint():
 class ResultCache:
     """Content-addressed result store."""
 
-    def __init__(self, root=None, cost_fingerprint=None,
-                 code_version=None):
+    def __init__(self, root: Union[str, Path, None] = None,
+                 cost_fingerprint: Optional[str] = None,
+                 code_version: Optional[str] = None) -> None:
         self.root = Path(root) if root else default_cache_dir()
         self._cost_fp = cost_fingerprint or cost_model_fingerprint()
         self._code_fp = code_version or code_fingerprint()
 
     # -- keys ------------------------------------------------------------
 
-    def key(self, name, params):
+    def key(self, name: str, params: Mapping[str, Any]) -> str:
         material = json.dumps(
             {
                 "experiment": name,
@@ -78,12 +82,13 @@ class ResultCache:
         ).encode()
         return hashlib.sha256(material).hexdigest()[:24]
 
-    def path_for(self, name, params):
+    def path_for(self, name: str, params: Mapping[str, Any]) -> Path:
         return self.root / f"{name}-{self.key(name, params)}.json"
 
     # -- access ----------------------------------------------------------
 
-    def load(self, name, params):
+    def load(self, name: str,
+             params: Mapping[str, Any]) -> Optional[Result]:
         """Cached :class:`Result` for this key, or ``None`` on a miss."""
         path = self.path_for(name, params)
         try:
@@ -98,7 +103,8 @@ class ResultCache:
         except Exception:
             return None
 
-    def store(self, name, params, result):
+    def store(self, name: str, params: Mapping[str, Any],
+              result: Result) -> Path:
         """Write one entry; returns its path."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(name, params)
@@ -114,7 +120,7 @@ class ResultCache:
         path.write_text(canonical_json(doc))
         return path
 
-    def clear(self, name=None):
+    def clear(self, name: Optional[str] = None) -> int:
         """Drop every entry (or just one experiment's)."""
         if not self.root.is_dir():
             return 0

@@ -8,6 +8,10 @@ coexistence, related work, L3) or assert invariants rather than produce
 tables, so they stay bench-only.
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 from repro.core.mode import ExecutionMode
 from repro.core.system import Machine
 from repro.cpu import isa
@@ -21,7 +25,7 @@ from repro.exp.result import Result, Row, Table
 _PART3_NS, _PART5_NS = 4890, 1960
 
 
-def with_lazy_fraction(fraction):
+def with_lazy_fraction(fraction: float) -> CostModel:
     """CostModel treating ``fraction`` of Table-1 parts 3/5 as lazy."""
     l0_lazy = int(_PART3_NS * fraction)
     l1_lazy = int(_PART5_NS * fraction)
@@ -38,9 +42,9 @@ def with_lazy_fraction(fraction):
     )
 
 
-def hw_speedup(costs, iterations=10):
+def hw_speedup(costs: CostModel, iterations: int = 10) -> float:
     """Nested-cpuid baseline/HW-SVt ratio under a cost model."""
-    times = {}
+    times: dict[str, float] = {}
     for mode in (ExecutionMode.BASELINE, ExecutionMode.HW_SVT):
         machine = Machine(mode=mode, costs=costs)
         machine.run_program(isa.Program([isa.cpuid()]))
@@ -50,7 +54,7 @@ def hw_speedup(costs, iterations=10):
     return times[ExecutionMode.BASELINE] / times[ExecutionMode.HW_SVT]
 
 
-def traced_run(mode, repeat=20):
+def traced_run(mode: str, repeat: int = 20) -> tuple[float, Any]:
     """(ns_per_op, trace-delta) of a nested cpuid loop in ``mode``."""
 
     machine = Machine(mode=mode)
@@ -67,7 +71,7 @@ def traced_run(mode, repeat=20):
         }
 
         @staticmethod
-        def total(*categories):
+        def total(*categories: str) -> int:
             if not categories:
                 return sum(_Delta.totals.values())
             return sum(_Delta.totals.get(c, 0) for c in categories)
@@ -75,7 +79,7 @@ def traced_run(mode, repeat=20):
     return elapsed / repeat, _Delta
 
 
-def hw_model_cross_check(repeat=20):
+def hw_model_cross_check(repeat: int = 20) -> dict[str, Any]:
     """Both roads to HW SVt, in ns/op: the paper's §6 scaling applied to
     baseline and SW SVt traces, and the direct simulation."""
     from repro.analysis.hw_model import scale_sw_to_hw
@@ -90,7 +94,8 @@ def hw_model_cross_check(repeat=20):
     }
 
 
-def channel_cpuid_us(placement, mechanism, iterations=20):
+def channel_cpuid_us(placement: str, mechanism: str,
+                     iterations: int = 20) -> float:
     """Nested cpuid µs under SW SVt with a given channel variant."""
     machine = Machine(mode=ExecutionMode.SW_SVT, placement=placement,
                       wait_mechanism=mechanism)
@@ -114,17 +119,18 @@ class AblationLazySplit(Experiment):
 
     FRACTIONS = (0.0, 0.2, 0.423, 0.6, 0.8)
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return tuple(f"{fraction:.3f}" for fraction in self.FRACTIONS)
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         costs = with_lazy_fraction(float(cell))
         return {
             "baseline_us": costs.table1_total() / 1000.0,
             "hw_speedup": hw_speedup(costs, params["iterations"]),
         }
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         return Result.create(
             experiment=self.name,
             params=params,
@@ -158,10 +164,11 @@ class AblationHwModel(Experiment):
     defaults = {"repeat": 20}
     smoke = {"repeat": 10}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         return hw_model_cross_check(repeat=params["repeat"])
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         payload = payloads["all"]
         rows = [
             ("scaled from baseline trace",
@@ -201,19 +208,20 @@ class AblationWait(Experiment):
     PLACEMENTS = ("smt", "core", "numa")
     MECHANISMS = ("polling", "mwait", "mutex")
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return tuple(
             f"{placement}:{mechanism}"
             for placement in self.PLACEMENTS
             for mechanism in self.MECHANISMS
         )
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         placement, mechanism = cell.split(":")
         return channel_cpuid_us(placement, mechanism,
                                 params["iterations"])
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         return Result.create(
             experiment=self.name,
             params=params,

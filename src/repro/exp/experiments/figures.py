@@ -5,6 +5,10 @@ sweep-point) — so the runner can fan them out across processes; merges
 are pure functions of the payloads, presented in declared cell order.
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 from repro.core.mode import ExecutionMode
 from repro.exp.registry import Experiment, register
 from repro.exp.result import Result, Row, Series, Table
@@ -31,10 +35,10 @@ class Fig6Cpuid(Experiment):
         ("HW SVt", {"mode": ExecutionMode.HW_SVT}),
     )
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return tuple(label for label, _ in self.BARS)
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import cpuid
 
         spec = dict(self.BARS)[cell]
@@ -46,7 +50,8 @@ class Fig6Cpuid(Experiment):
                                iterations=params["iterations"])
         return result.us_per_op
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         l2 = payloads["L2"]
         scalars = {
             "l0_us": payloads["L0"],
@@ -116,14 +121,14 @@ class Fig7Subsystems(Experiment):
     defaults = {"net_operations": 12, "disk_operations": 10}
     smoke = {"net_operations": 6, "disk_operations": 5}
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return tuple(
             f"{metric}:{mode}"
             for metric in FIG7_METRICS
             for mode in ExecutionMode.ALL
         )
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import disk, netperf
 
         metric, mode = cell.split(":")
@@ -143,10 +148,11 @@ class Fig7Subsystems(Experiment):
             return disk.run_bandwidth(mode, write=False)
         return disk.run_bandwidth(mode, write=True)
 
-    def merge(self, params, payloads):
-        rows = []
-        scalars = {}
-        paper = {}
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
+        rows: list[Row] = []
+        scalars: dict[str, Any] = {}
+        paper: dict[str, Any] = {}
         for metric, (label, _kind, higher,
                      paper_vals) in FIG7_METRICS.items():
             base = payloads[f"{metric}:{ExecutionMode.BASELINE}"]
@@ -193,10 +199,10 @@ class Fig8Memcached(Experiment):
 
     SLA_US = 500.0
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return _SVT_MODES
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import memcached
 
         result = memcached.run(cell, seed=params["seed"],
@@ -208,7 +214,8 @@ class Fig8Memcached(Experiment):
                        for p in result.points],
         }
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         base = payloads[ExecutionMode.BASELINE]
         svt = payloads[ExecutionMode.SW_SVT]
         p99_ratios = [
@@ -220,7 +227,7 @@ class Fig8Memcached(Experiment):
         avg = (base["points"][0][1] / svt["points"][0][1]
                if base["points"] and svt["points"] else 0.0)
 
-        def max_in_sla(points):
+        def max_in_sla(points: list[Any]) -> float:
             ok = [kqps for kqps, _avg, p99_us in points
                   if p99_us <= self.SLA_US]
             return max(ok) if ok else 0.0
@@ -280,16 +287,17 @@ class Fig9Tpcc(Experiment):
     defaults = {"transactions": 3}
     smoke = {"transactions": 2}
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return _SVT_MODES
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import tpcc
 
         result = tpcc.run(cell, transactions=params["transactions"])
         return {"ktpm": result.ktpm, "txn_ms": result.txn_ms}
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         base = payloads[ExecutionMode.BASELINE]["ktpm"]
         svt = payloads[ExecutionMode.SW_SVT]["ktpm"]
         return Result.create(
@@ -320,11 +328,11 @@ class Fig10Video(Experiment):
 
     FPS = (24, 60, 120)
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return tuple(f"{fps}:{mode}"
                      for fps in self.FPS for mode in _SVT_MODES)
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import video
 
         fps, mode = cell.split(":")
@@ -332,11 +340,12 @@ class Fig10Video(Experiment):
         return {"dropped": result.dropped, "frames": result.frames,
                 "burst_us": result.burst_us}
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         from repro.workloads import video
 
-        rows = []
-        scalars = {}
+        rows: list[Row] = []
+        scalars: dict[str, Any] = {}
         for fps in self.FPS:
             base = payloads[f"{fps}:{ExecutionMode.BASELINE}"]
             svt = payloads[f"{fps}:{ExecutionMode.SW_SVT}"]

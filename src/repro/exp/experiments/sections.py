@@ -4,6 +4,10 @@ Covers §6.1 (channel microbenchmarks), the deep-nesting and functional-L3
 extensions, §3.3 SVt/SMT coexistence, and the §7 related-work comparison.
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 from repro.core.mode import ExecutionMode
 from repro.exp.registry import Experiment, register
 from repro.exp.result import Result, Row, Table
@@ -19,7 +23,7 @@ class Sec61Channels(Experiment):
     defaults = {"iterations": 40}
     smoke = {"iterations": 10}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import channels
 
         sweep = channels.sweep()
@@ -34,7 +38,8 @@ class Sec61Channels(Experiment):
             ],
         }
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         payload = payloads["all"]
         observations = payload["observations"]
         scalars = {f"observation_{name}": bool(holds)
@@ -77,7 +82,7 @@ class DeepNesting(Experiment):
     description = "analytic trap cost at depth k, baseline vs SVt"
     defaults = {"depth": 5}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.virt.deep import DeepNestingModel
 
         model = DeepNestingModel()
@@ -85,7 +90,8 @@ class DeepNesting(Experiment):
                 for d, base_us, svt_us, speedup
                 in model.table(max_depth=params["depth"])]
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         rows = payloads["all"]
         return Result.create(
             experiment=self.name,
@@ -117,10 +123,10 @@ class L3Functional(Experiment):
     description = "live L3 cpuid/timer cost in every execution mode"
     defaults = {"repeat": 4}
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         return ExecutionMode.ALL
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.core.system import Machine
         from repro.cpu import isa
         from repro.virt.hypervisor import MSR_TSC_DEADLINE
@@ -136,7 +142,8 @@ class L3Functional(Experiment):
         return {"cpuid_us": cpuid_ns / (repeat * 1000.0),
                 "timer_us": timer_ns / (repeat * 1000.0)}
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         return Result.create(
             experiment=self.name,
             params=params,
@@ -168,14 +175,15 @@ class Coexist(Experiment):
     description = "crossover nested-trap rate where SVt beats SMT"
     defaults = {}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.core.coexist import CoexistConfig, crossover_trap_rate
 
         config = CoexistConfig()
         return {"crossover_traps_per_s": crossover_trap_rate(config),
                 "smt_yield": config.smt_yield}
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         payload = payloads["all"]
         rate = payload["crossover_traps_per_s"]
         return Result.create(
@@ -198,13 +206,14 @@ class RelatedWork(Experiment):
     description = "SR-IOV/side-core/ELI vs SVt on one nested I/O op"
     defaults = {}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.core.related_work import speedup_table
 
         return [[name, us, speedup, caveats]
                 for name, us, speedup, caveats in speedup_table()]
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         rows = payloads["all"]
         return Result.create(
             experiment=self.name,

@@ -1,5 +1,9 @@
 """The paper's tables as registered experiments (Tables 1, 3, 4)."""
 
+from __future__ import annotations
+
+from typing import Any
+
 from repro.exp.registry import Experiment, register
 from repro.exp.result import Result, Row, Table
 
@@ -14,15 +18,16 @@ class Table1Breakdown(Experiment):
     defaults = {"iterations": 50}
     smoke = {"iterations": 10}
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.workloads import cpuid
 
         rows = cpuid.table1_breakdown(iterations=params["iterations"])
         return [[label, us, pct] for label, us, pct in rows]
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         rows = payloads["all"]
-        scalars = {}
+        scalars: dict[str, Any] = {}
         for label, us, _pct in rows:
             key = label.split(" ", 1)[1].lower().replace(" ", "_") \
                 .replace("<->", "_").replace("/", "_")
@@ -51,7 +56,7 @@ class Table3Footprint(Experiment):
     title = "Table 3: prototype footprint"
     description = "paper prototype LoC vs this repo's equivalents"
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.analysis.loc import PAPER, audit
 
         ours = audit()
@@ -60,7 +65,8 @@ class Table3Footprint(Experiment):
             for role, (added, removed) in PAPER.items()
         ]
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         rows = payloads["all"]
         return Result.create(
             experiment=self.name,
@@ -92,13 +98,14 @@ class Table4Machine(Experiment):
     title = "Table 4: machine parameters"
     description = "the paper's testbed topology (host, L1, L2)"
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         from repro.config import paper_machine
 
         return [[level, desc]
                 for level, desc in paper_machine().describe()]
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         rows = payloads["all"]
         return Result.create(
             experiment=self.name,

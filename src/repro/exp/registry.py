@@ -22,11 +22,17 @@ An experiment declares:
   :class:`~repro.exp.result.Result`.
 """
 
-from dataclasses import dataclass, field
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Optional, TypeVar
 
 from repro.errors import ConfigError
 
-_REGISTRY = {}
+if TYPE_CHECKING:
+    from repro.exp.result import Result
+
+_REGISTRY: dict[str, "Experiment"] = {}
 _LOADED = False
 
 
@@ -34,36 +40,38 @@ _LOADED = False
 class RunContext:
     """What an experiment run sees: its resolved parameters."""
 
-    params: tuple = ()
+    params: tuple[tuple[str, Any], ...] = ()
 
     @classmethod
-    def create(cls, params=None):
+    def create(cls, params: Optional[Mapping[str, Any]] = None) \
+            -> RunContext:
         params = params or {}
         return cls(params=tuple(sorted(params.items())))
 
     @property
-    def params_dict(self):
+    def params_dict(self) -> dict[str, Any]:
         return dict(self.params)
 
-    def get(self, key, default=None):
+    def get(self, key: str, default: Any = None) -> Any:
         return dict(self.params).get(key, default)
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: str) -> Any:
         return dict(self.params)[key]
 
 
 class Experiment:
     """Base class for registered experiments."""
 
-    name = None
-    title = ""
-    description = ""
-    defaults = {}
-    smoke = {}
+    name: ClassVar[Optional[str]] = None
+    title: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    defaults: ClassVar[dict[str, Any]] = {}
+    smoke: ClassVar[dict[str, Any]] = {}
 
     # -- parameters ------------------------------------------------------
 
-    def resolve(self, overrides=None, strict=False):
+    def resolve(self, overrides: Optional[Mapping[str, Any]] = None,
+                strict: bool = False) -> dict[str, Any]:
         """Defaults merged with ``overrides``.
 
         Unknown override keys are ignored unless ``strict`` (the CLI
@@ -83,17 +91,18 @@ class Experiment:
 
     # -- execution -------------------------------------------------------
 
-    def cells(self, params):
+    def cells(self, params: dict[str, Any]) -> tuple[str, ...]:
         """Independent work units; override to enable parallel fan-out."""
         return ("all",)
 
-    def run_cell(self, cell, params):
+    def run_cell(self, cell: str, params: dict[str, Any]) -> Any:
         raise NotImplementedError
 
-    def merge(self, params, payloads):
+    def merge(self, params: dict[str, Any],
+              payloads: dict[str, Any]) -> Result:
         raise NotImplementedError
 
-    def run(self, ctx):
+    def run(self, ctx: RunContext) -> Result:
         """Serial reference path: run every cell in order, then merge."""
         params = ctx.params_dict
         payloads = {
@@ -103,7 +112,10 @@ class Experiment:
         return self.merge(params, payloads)
 
 
-def register(cls):
+_ExperimentClass = TypeVar("_ExperimentClass", bound="type[Experiment]")
+
+
+def register(cls: _ExperimentClass) -> _ExperimentClass:
     """Class decorator: instantiate and add to the registry."""
     if not issubclass(cls, Experiment):
         raise ConfigError(f"{cls!r} is not an Experiment subclass")
@@ -115,20 +127,22 @@ def register(cls):
     return cls
 
 
-def unregister(name):
+def unregister(name: str) -> None:
     """Remove an experiment (test hook)."""
     _REGISTRY.pop(name, None)
 
 
-def ensure_loaded():
+def ensure_loaded() -> None:
     """Import the bundled experiment modules exactly once."""
-    global _LOADED
+    # Import-once latch, not cell state: workers re-run it idempotently
+    # after fork/spawn, so losing the write is harmless.
+    global _LOADED  # svtlint: disable=SVT003
     if not _LOADED:
         _LOADED = True
         import repro.exp.experiments  # noqa: F401  (side effect: register)
 
 
-def get(name):
+def get(name: str) -> Experiment:
     """Look an experiment up by name."""
     ensure_loaded()
     try:
@@ -139,13 +153,13 @@ def get(name):
         ) from None
 
 
-def names():
+def names() -> list[str]:
     """Sorted names of every registered experiment."""
     ensure_loaded()
     return sorted(_REGISTRY)
 
 
-def experiments():
+def experiments() -> list[Experiment]:
     """All registered experiments, sorted by name."""
     ensure_loaded()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -20,18 +20,27 @@ frozen and hashable, and the canonical JSON encoding is deterministic:
 ``to_json`` output is byte-stable for equal results.
 """
 
+from __future__ import annotations
+
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Union
 
 from repro.errors import ConfigError
 
 #: Version tag embedded in every serialized result.
 SCHEMA = "repro-result/1"
 
+#: The JSON-scalar leaves every result document is built from.
+Scalar = Union[str, int, float, bool, None]
+
+#: Frozen-mapping encoding: sorted ``(key, value)`` pairs.
+Pairs = tuple[tuple[str, Scalar], ...]
+
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
 
-def _check_scalar(value, where):
+def _check_scalar(value: Any, where: str) -> Scalar:
     if not isinstance(value, _SCALAR_TYPES):
         raise ConfigError(
             f"{where} must be a JSON scalar, got {type(value).__name__}"
@@ -39,7 +48,10 @@ def _check_scalar(value, where):
     return value
 
 
-def freeze_mapping(mapping, where="mapping"):
+def freeze_mapping(
+    mapping: Union[Mapping[str, Any], Pairs, None],
+    where: str = "mapping",
+) -> Pairs:
     """``dict`` -> sorted ``((key, value), ...)`` pair tuple."""
     if mapping is None:
         return ()
@@ -62,22 +74,23 @@ class Row:
     """
 
     label: str
-    values: tuple = ()
+    values: tuple[Scalar, ...] = ()
     paper: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(
             _check_scalar(v, f"row {self.label!r} cell") for v in self.values
         ))
 
-    def to_dict(self):
-        doc = {"label": self.label, "values": list(self.values)}
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"label": self.label,
+                               "values": list(self.values)}
         if self.paper:
             doc["paper"] = self.paper
         return doc
 
     @classmethod
-    def from_dict(cls, doc):
+    def from_dict(cls, doc: Mapping[str, Any]) -> Row:
         return cls(label=doc["label"], values=tuple(doc["values"]),
                    paper=doc.get("paper", ""))
 
@@ -87,18 +100,18 @@ class Table:
     """One rendered table (or bar group, per ``kind``)."""
 
     title: str
-    columns: tuple
-    rows: tuple = ()
+    columns: tuple[str, ...]
+    rows: tuple[Row, ...] = ()
     kind: str = "table"        # "table" | "bars" (render hint)
     unit: str = ""             # bar-chart unit suffix
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("table", "bars"):
             raise ConfigError(f"unknown table kind {self.kind!r}")
         object.__setattr__(self, "columns", tuple(self.columns))
         object.__setattr__(self, "rows", tuple(self.rows))
 
-    def to_dict(self):
+    def to_dict(self) -> dict[str, Any]:
         return {
             "title": self.title,
             "columns": list(self.columns),
@@ -108,7 +121,7 @@ class Table:
         }
 
     @classmethod
-    def from_dict(cls, doc):
+    def from_dict(cls, doc: Mapping[str, Any]) -> Table:
         return cls(
             title=doc["title"],
             columns=tuple(doc["columns"]),
@@ -123,19 +136,19 @@ class Series:
     """One named ``(x, y)`` curve (Fig. 8's p99-vs-load lines)."""
 
     name: str
-    points: tuple = ()
+    points: tuple[tuple[float, float], ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "points", tuple(
             (float(x), float(y)) for x, y in self.points
         ))
 
-    def to_dict(self):
+    def to_dict(self) -> dict[str, Any]:
         return {"name": self.name,
                 "points": [[x, y] for x, y in self.points]}
 
     @classmethod
-    def from_dict(cls, doc):
+    def from_dict(cls, doc: Mapping[str, Any]) -> Series:
         return cls(name=doc["name"],
                    points=tuple((x, y) for x, y in doc["points"]))
 
@@ -145,17 +158,23 @@ class Result:
     """Complete outcome of one experiment run."""
 
     experiment: str
-    params: tuple = ()
-    tables: tuple = ()
-    series: tuple = ()
-    scalars: tuple = ()
-    paper: tuple = ()
-    notes: tuple = ()
-    meta: tuple = ()           # render hints (plot title, y ceiling, ...)
+    params: Pairs = ()
+    tables: tuple[Table, ...] = ()
+    series: tuple[Series, ...] = ()
+    scalars: Pairs = ()
+    paper: Pairs = ()
+    notes: tuple[str, ...] = ()
+    meta: Pairs = ()           # render hints (plot title, y ceiling, ...)
 
     @classmethod
-    def create(cls, experiment, params=None, tables=(), series=(),
-               scalars=None, paper=None, notes=(), meta=None):
+    def create(cls, experiment: str,
+               params: Optional[Mapping[str, Any]] = None,
+               tables: Iterable[Table] = (),
+               series: Iterable[Series] = (),
+               scalars: Optional[Mapping[str, Any]] = None,
+               paper: Optional[Mapping[str, Any]] = None,
+               notes: Iterable[str] = (),
+               meta: Optional[Mapping[str, Any]] = None) -> Result:
         """Build a result from plain dicts/lists (the authoring API)."""
         return cls(
             experiment=experiment,
@@ -171,26 +190,26 @@ class Result:
     # -- mapping views ---------------------------------------------------
 
     @property
-    def params_dict(self):
+    def params_dict(self) -> dict[str, Scalar]:
         return dict(self.params)
 
     @property
-    def scalars_dict(self):
+    def scalars_dict(self) -> dict[str, Scalar]:
         return dict(self.scalars)
 
     @property
-    def paper_dict(self):
+    def paper_dict(self) -> dict[str, Scalar]:
         return dict(self.paper)
 
     @property
-    def meta_dict(self):
+    def meta_dict(self) -> dict[str, Scalar]:
         return dict(self.meta)
 
-    def scalar(self, key):
+    def scalar(self, key: str) -> Scalar:
         """One measured number, by name (raises ``KeyError`` if absent)."""
         return dict(self.scalars)[key]
 
-    def get_series(self, name):
+    def get_series(self, name: str) -> Series:
         for series in self.series:
             if series.name == name:
                 return series
@@ -198,7 +217,7 @@ class Result:
 
     # -- serialization ---------------------------------------------------
 
-    def to_dict(self):
+    def to_dict(self) -> dict[str, Any]:
         return {
             "schema": SCHEMA,
             "experiment": self.experiment,
@@ -212,7 +231,7 @@ class Result:
         }
 
     @classmethod
-    def from_dict(cls, doc):
+    def from_dict(cls, doc: Mapping[str, Any]) -> Result:
         if doc.get("schema") != SCHEMA:
             raise ConfigError(
                 f"unsupported result schema {doc.get('schema')!r}"
@@ -228,15 +247,15 @@ class Result:
             meta=doc.get("meta"),
         )
 
-    def to_json(self):
+    def to_json(self) -> str:
         """Canonical encoding: sorted keys, 2-space indent, newline."""
         return canonical_json(self.to_dict())
 
     @classmethod
-    def from_json(cls, text):
+    def from_json(cls, text: str) -> Result:
         return cls.from_dict(json.loads(text))
 
 
-def canonical_json(doc):
+def canonical_json(doc: Any) -> str:
     """The one JSON encoding used everywhere byte-identity matters."""
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"

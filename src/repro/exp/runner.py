@@ -14,14 +14,17 @@ number of workers.  Wall-clock timings are collected alongside but kept
 via :func:`runtime_smoke`).
 """
 
+from __future__ import annotations
+
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.exp import registry
 from repro.exp.cache import ResultCache, code_fingerprint, \
     cost_model_fingerprint
-from repro.exp.result import canonical_json
+from repro.exp.result import Result, canonical_json
 
 #: Top-level schema of the ``--json`` document.
 DOCUMENT_SCHEMA = "repro-results/1"
@@ -32,7 +35,7 @@ class ExperimentRun:
     """One experiment's outcome inside a batch run."""
 
     name: str
-    result: object
+    result: Result
     cached: bool
     seconds: float          # summed cell compute time (0.0 when cached)
 
@@ -41,26 +44,26 @@ class ExperimentRun:
 class RunReport:
     """Everything a batch run produced."""
 
-    runs: list = field(default_factory=list)
+    runs: list[ExperimentRun] = field(default_factory=list)
     jobs: int = 1
     cache_dir: str = ""
     cache_enabled: bool = False
-    cache_keys: dict = field(default_factory=dict)
+    cache_keys: dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @property
-    def results(self):
+    def results(self) -> dict[str, Result]:
         return {run.name: run.result for run in self.runs}
 
     @property
-    def served(self):
+    def served(self) -> list[str]:
         return sorted(run.name for run in self.runs if run.cached)
 
     @property
-    def computed(self):
+    def computed(self) -> list[str]:
         return sorted(run.name for run in self.runs if not run.cached)
 
-    def to_document(self):
+    def to_document(self) -> dict[str, Any]:
         """The ``--json`` document — a pure function of the experiment
         set and code state, never of scheduling or cache temperature.
 
@@ -89,24 +92,31 @@ class RunReport:
             },
         }
 
-    def to_json(self):
+    def to_json(self) -> str:
         return canonical_json(self.to_document())
 
 
-def _execute_cell(name, cell, params):
+def _execute_cell(name: str, cell: str, params: dict[str, Any]) \
+        -> tuple[str, str, Any, float]:
     """Worker entry point: one cell in a fresh simulator.
 
     Module-level so it pickles; re-resolves the experiment through the
     registry so it also works under the ``spawn`` start method.
     """
     experiment = registry.get(name)
-    started = time.perf_counter()
+    # Wall-clock here is diagnostic only (ExperimentRun.seconds feeds
+    # results/runtime_smoke.json) and never enters a result document.
+    started = time.perf_counter()  # svtlint: disable=SVT001
     payload = experiment.run_cell(cell, params)
-    return name, cell, payload, time.perf_counter() - started
+    took = time.perf_counter() - started  # svtlint: disable=SVT001
+    return name, cell, payload, took
 
 
-def run_experiments(names, overrides=None, jobs=1, cache=None,
-                    smoke=False):
+def run_experiments(names: Iterable[str],
+                    overrides: Optional[Mapping[str, Any]] = None,
+                    jobs: int = 1,
+                    cache: Optional[ResultCache] = None,
+                    smoke: bool = False) -> RunReport:
     """Run a batch of experiments, reusing cached results.
 
     ``names`` is any iterable of registered names; ``overrides`` is one
@@ -114,7 +124,9 @@ def run_experiments(names, overrides=None, jobs=1, cache=None,
     declares); ``cache=None`` disables caching; ``smoke`` applies each
     experiment's fast-run parameter overrides first.
     """
-    started = time.perf_counter()
+    # Diagnostic wall-clock (RunReport.wall_seconds stays out of the
+    # canonical result document; see to_document's docstring).
+    started = time.perf_counter()  # svtlint: disable=SVT001
     names = sorted(dict.fromkeys(names))
     report = RunReport(
         jobs=max(1, int(jobs)),
@@ -122,8 +134,9 @@ def run_experiments(names, overrides=None, jobs=1, cache=None,
         cache_enabled=cache is not None,
     )
 
-    plans = []          # (name, experiment, params) needing computation
-    finished = {}       # name -> ExperimentRun
+    #: (name, experiment, params) triples needing computation.
+    plans: list[tuple[str, registry.Experiment, dict[str, Any]]] = []
+    finished: dict[str, ExperimentRun] = {}
     for name in names:
         experiment = registry.get(name)
         params = dict(experiment.defaults)
@@ -146,8 +159,8 @@ def run_experiments(names, overrides=None, jobs=1, cache=None,
         for cell in experiment.cells(params)
     ]
 
-    payloads = {}       # (name, cell) -> payload
-    seconds = {}        # name -> summed cell seconds
+    payloads: dict[tuple[str, str], Any] = {}
+    seconds: dict[str, float] = {}
     if report.jobs > 1 and len(cells) > 1:
         with ProcessPoolExecutor(max_workers=report.jobs) as pool:
             outcomes = pool.map(
@@ -177,11 +190,14 @@ def run_experiments(names, overrides=None, jobs=1, cache=None,
                                        False, seconds.get(name, 0.0))
 
     report.runs = [finished[name] for name in names]
-    report.wall_seconds = time.perf_counter() - started
+    report.wall_seconds = \
+        time.perf_counter() - started  # svtlint: disable=SVT001
     return report
 
 
-def runtime_smoke(names=None, jobs=4, overrides=None):
+def runtime_smoke(names: Optional[Iterable[str]] = None, jobs: int = 4,
+                  overrides: Optional[Mapping[str, Any]] = None) \
+        -> dict[str, Any]:
     """Wall-clock baseline: every experiment serial vs parallel.
 
     Runs the whole registry twice with smoke parameters and no cache —
@@ -196,7 +212,7 @@ def runtime_smoke(names=None, jobs=4, overrides=None):
     parallel = run_experiments(names, overrides=overrides, jobs=jobs,
                                cache=None, smoke=True)
     parallel_seconds = {run.name: run.seconds for run in parallel.runs}
-    per_experiment = {}
+    per_experiment: dict[str, Any] = {}
     for run in serial.runs:
         experiment = registry.get(run.name)
         smoke_params = {**experiment.defaults, **experiment.smoke}

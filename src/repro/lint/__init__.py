@@ -1,0 +1,52 @@
+"""svtlint — AST-based invariant checker for the experiment runtime.
+
+The runtime (``repro.exp``) promises byte-identical output at any
+``--jobs`` count and fingerprint-keyed caching; this package encodes the
+invariants behind those promises as machine-checked rules:
+
+* **SVT001** :mod:`repro.lint.determinism` — no nondeterminism
+  (unseeded randomness, wall-clock, environment, ``id()``, set order)
+  under ``repro.exp`` / ``repro.sim`` / ``repro.workloads``.
+* **SVT002** :mod:`repro.lint.provenance` — every numeric timing
+  constant in the cost model cites the paper (``# paper: Table 1``).
+* **SVT003** :mod:`repro.lint.poolsafety` — experiment cells don't
+  write module globals or close over unpicklable state.
+* **SVT004** :mod:`repro.lint.frozen` — nothing mutates a frozen
+  ``Result`` after construction.
+
+Run via ``python -m repro lint`` (see :mod:`repro.lint.cli`), ``make
+lint``, or programmatically through :func:`lint_paths`.  Suppress a
+deliberate exception inline with ``# svtlint: disable=SVT001`` (see
+``docs/static-analysis.md``).
+"""
+
+from repro.lint.cli import DEFAULT_RULES, main
+from repro.lint.determinism import DeterminismRule
+from repro.lint.engine import (
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import Finding, findings_document
+from repro.lint.frozen import FrozenResultRule
+from repro.lint.poolsafety import PoolSafetyRule
+from repro.lint.provenance import ProvenanceRule
+from repro.lint.source import SourceFile, module_name_for
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "Finding",
+    "FrozenResultRule",
+    "PoolSafetyRule",
+    "ProvenanceRule",
+    "Rule",
+    "SourceFile",
+    "findings_document",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "module_name_for",
+]

@@ -1,0 +1,188 @@
+"""The shared AST walk that drives every rule.
+
+One file is parsed once and walked once; each rule is a visitor object
+dispatched per node (``visit_Call``, ``visit_For``, ...), so adding a
+rule never adds another pass over the tree.  The walker maintains the
+lexical scope stack (module / class / function nesting) that the
+pool-safety and frozen-result rules need, and applies the suppression
+index before findings escape a file.
+
+Exit-code contract (shared with the CLI): findings are the *only*
+success-path output; a file that fails to parse yields a single
+``SVT000`` finding rather than aborting the batch, so CI always sees
+every problem in one run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+from repro.lint.findings import Finding
+from repro.lint.source import SourceFile
+
+ScopeNode = Union[ast.Module, ast.ClassDef, ast.FunctionDef,
+                  ast.AsyncFunctionDef, ast.Lambda]
+
+_SCOPE_TYPES = (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef,
+                ast.Lambda)
+
+
+class LintContext:
+    """What a rule sees while visiting one file."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.scopes: list[ScopeNode] = []
+        self._findings: list[Finding] = []
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if self.source.suppressed(line, rule.rule_id):
+            return
+        self._findings.append(Finding(
+            path=str(self.source.path),
+            line=line,
+            col=col,
+            rule=rule.rule_id,
+            message=message,
+        ))
+
+    @property
+    def findings(self) -> list[Finding]:
+        return list(self._findings)
+
+    # -- scope helpers ---------------------------------------------------
+
+    def enclosing_functions(self) -> list[ast.FunctionDef]:
+        """Innermost-last stack of enclosing named functions."""
+        return [scope for scope in self.scopes
+                if isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))]
+
+    def enclosing_function_name(self) -> str:
+        functions = self.enclosing_functions()
+        return functions[-1].name if functions else ""
+
+    def in_method_of_class(self, method_names: Iterable[str]) -> bool:
+        """True when visiting inside ``class C: def <name>``."""
+        wanted = set(method_names)
+        for index, scope in enumerate(self.scopes):
+            if (isinstance(scope, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef))
+                    and scope.name in wanted and index > 0
+                    and isinstance(self.scopes[index - 1],
+                                   ast.ClassDef)):
+                return True
+        return False
+
+    def at_class_or_module_level(self) -> bool:
+        """No enclosing function — class bodies and module toplevel."""
+        return not self.enclosing_functions()
+
+
+class Rule:
+    """Base class: a rule id, a scope predicate, and node visitors."""
+
+    rule_id = "SVT000"
+    title = "internal"
+
+    def applies(self, source: SourceFile) -> bool:
+        return True
+
+    def begin(self, ctx: LintContext) -> None:
+        """Called once per file before the walk (precompute state)."""
+
+    def finish(self, ctx: LintContext) -> None:
+        """Called once per file after the walk."""
+
+
+def _in_packages(module: str, packages: Iterable[str]) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".")
+               for pkg in packages)
+
+
+def package_scoped(source: SourceFile,
+                   packages: Iterable[str]) -> bool:
+    """Shared scope predicate: module lives under one of ``packages``."""
+    return _in_packages(source.module, packages)
+
+
+def _walk(node: ast.AST, ctx: LintContext,
+          rules: list[tuple[Rule, dict[str, Callable[..., None]]]],
+          ) -> None:
+    kind = type(node).__name__
+    for rule, visitors in rules:
+        visitor = visitors.get(kind)
+        if visitor is not None:
+            visitor(node, ctx)
+    is_scope = isinstance(node, _SCOPE_TYPES)
+    if is_scope:
+        ctx.scopes.append(node)  # type: ignore[arg-type]
+    for child in ast.iter_child_nodes(node):
+        _walk(child, ctx, rules)
+    if is_scope:
+        ctx.scopes.pop()
+
+
+def lint_source(source: SourceFile,
+                rules: Iterable[Rule]) -> list[Finding]:
+    """Run every applicable rule over one parsed file."""
+    active = [rule for rule in rules if rule.applies(source)]
+    if not active:
+        return []
+    ctx = LintContext(source)
+    table = []
+    for rule in active:
+        visitors = {
+            name[len("visit_"):]: getattr(rule, name)
+            for name in dir(rule) if name.startswith("visit_")
+        }
+        table.append((rule, visitors))
+        rule.begin(ctx)
+    _walk(source.tree, ctx, table)
+    for rule in active:
+        rule.finish(ctx)
+    return sorted(ctx.findings)
+
+
+def lint_file(path: Path, rules: Iterable[Rule],
+              module: Optional[str] = None) -> list[Finding]:
+    """Lint one file; a parse failure becomes an SVT000 finding."""
+    try:
+        source = SourceFile(path, module=module)
+    except SyntaxError as err:
+        return [Finding(path=str(path), line=err.lineno or 1,
+                        col=(err.offset or 0) + 1, rule="SVT000",
+                        message=f"syntax error: {err.msg}")]
+    return lint_source(source, rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen: set[Path] = set()
+    expanded: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        candidates = (sorted(path.rglob("*.py")) if path.is_dir()
+                      else [path])
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                expanded.append(candidate)
+    return iter(sorted(expanded))
+
+
+def lint_paths(paths: Iterable[Path],
+               rules: Iterable[Rule]) -> list[Finding]:
+    """Lint every ``*.py`` under ``paths`` with fresh rule instances."""
+    findings: list[Finding] = []
+    rule_types = [type(rule) for rule in rules]
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, [cls() for cls in rule_types]))
+    return sorted(findings)

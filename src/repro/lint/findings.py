@@ -1,0 +1,49 @@
+"""Findings: what a lint rule reports.
+
+A :class:`Finding` pins one rule violation to a file, line and column.
+Findings are frozen dataclasses so rule code cannot mutate them after
+the fact, sort in stable ``(path, line, col, rule)`` order so output is
+deterministic regardless of rule execution order, and serialize to the
+``--format json`` document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Version tag of the ``--format json`` document.
+JSON_SCHEMA = "svtlint/1"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def findings_document(findings: list[Finding]) -> dict[str, object]:
+    """The ``--format json`` document for a batch of findings."""
+    return {
+        "schema": JSON_SCHEMA,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }

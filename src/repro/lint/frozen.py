@@ -1,0 +1,129 @@
+"""SVT004 — ``Result`` objects are frozen; nothing mutates them.
+
+Results flow from worker processes into the cache and the canonical
+JSON document; the byte-identity and cache-correctness guarantees rest
+on a result never changing after construction.  The dataclasses are
+declared ``frozen=True``, but ``object.__setattr__`` (the documented
+footgun, used legitimately inside ``__post_init__``) bypasses that at
+runtime — so the rule closes the loophole statically.
+
+Flagged everywhere under ``repro``:
+
+* ``object.__setattr__(...)`` / ``setattr(...)`` outside constructor
+  methods (``__init__``/``__post_init__``/``__new__``/``__setattr__``);
+* attribute assignment (plain, augmented, or annotated) on a name bound
+  earlier in the same function to a ``Result``/``Table``/``Row``/
+  ``Series`` constructor or ``.merge(...)`` call;
+* attribute assignment through a ``.result`` attribute access
+  (``run.result.x = ...``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, Rule, package_scoped
+from repro.lint.source import SourceFile
+
+PACKAGES = ("repro",)
+
+_CONSTRUCTOR_METHODS = {"__init__", "__post_init__", "__new__",
+                        "__setattr__"}
+_RESULT_TYPES = {"Result", "Table", "Row", "Series"}
+_FACTORY_METHODS = {"create", "from_dict", "from_json", "merge"}
+
+
+def _binds_result(value: ast.AST) -> bool:
+    """Is this expression a Result-family constructor/factory call?"""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id in _RESULT_TYPES
+    if isinstance(func, ast.Attribute):
+        if (isinstance(func.value, ast.Name)
+                and func.value.id in _RESULT_TYPES
+                and func.attr in _FACTORY_METHODS):
+            return True
+        return func.attr == "merge"
+    return False
+
+
+class FrozenResultRule(Rule):
+    """SVT004: no attribute assignment on Result instances."""
+
+    rule_id = "SVT004"
+    title = "frozen-result mutation"
+
+    def __init__(self) -> None:
+        #: id(function node) -> names bound to Result-family values.
+        self._bindings: dict[int, set[str]] = {}
+
+    def applies(self, source: SourceFile) -> bool:
+        return package_scoped(source, PACKAGES)
+
+    def _bound_names(self, ctx: LintContext) -> set[str]:
+        functions = ctx.enclosing_functions()
+        if not functions:
+            return self._bindings.setdefault(0, set())
+        return self._bindings.setdefault(id(functions[-1]), set())
+
+    # -- setattr escapes -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        func = node.func
+        is_object_setattr = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )
+        is_builtin_setattr = (isinstance(func, ast.Name)
+                              and func.id == "setattr")
+        if not (is_object_setattr or is_builtin_setattr):
+            return
+        if ctx.enclosing_function_name() in _CONSTRUCTOR_METHODS:
+            return
+        what = ("object.__setattr__" if is_object_setattr
+                else "setattr")
+        ctx.report(self, node,
+                   f"{what}() outside a constructor defeats frozen "
+                   "dataclasses; build a new instance instead "
+                   "(dataclasses.replace)")
+
+    # -- tracked attribute stores ----------------------------------------
+
+    def _check_target(self, target: ast.AST, ctx: LintContext) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if (isinstance(base, ast.Name)
+                and base.id in self._bound_names(ctx)):
+            ctx.report(self, target,
+                       f"attribute assignment on {base.id!r}, a frozen "
+                       "Result; use dataclasses.replace to derive a "
+                       "new one")
+        elif isinstance(base, ast.Attribute) and base.attr == "result":
+            ctx.report(self, target,
+                       "attribute assignment through '.result'; "
+                       "Result instances are frozen")
+
+    def visit_Assign(self, node: ast.Assign, ctx: LintContext) -> None:
+        for target in node.targets:
+            self._check_target(target, ctx)
+        if _binds_result(node.value):
+            names = self._bound_names(ctx)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign,
+                        ctx: LintContext) -> None:
+        self._check_target(node.target, ctx)
+        if (node.value is not None and _binds_result(node.value)
+                and isinstance(node.target, ast.Name)):
+            self._bound_names(ctx).add(node.target.id)
+
+    def visit_AugAssign(self, node: ast.AugAssign,
+                        ctx: LintContext) -> None:
+        self._check_target(node.target, ctx)

@@ -1,0 +1,1 @@
+"""svtlint: the AST-based invariant checker (repro.lint)."""

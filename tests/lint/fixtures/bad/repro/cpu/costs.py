@@ -1,0 +1,13 @@
+"""Fixture: uncited and badly-cited timing constants (SVT002)."""
+
+SWITCH_NS = 810                       # round-trip switch, no citation
+
+
+def _handlers():
+    return {
+        "CPUID": 2820,                # paper: calibrated by hand
+    }
+
+
+def scale(share=0.85):
+    return share

@@ -1,0 +1,44 @@
+"""Fixture: determinism, pool-safety and frozen-result anti-patterns.
+
+Staged under a synthetic ``repro/exp/`` directory so the scoped rules
+apply; each marked line must produce exactly the noted finding.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+from repro.exp.result import Result
+
+SHARED = {}
+
+
+class BadExperiment:
+
+    def cells(self, params):
+        return tuple({"a", "b"})                # SVT001 set -> tuple
+
+    def run_cell(self, cell, params):
+        jitter = random.random()                # SVT001 unseeded random
+        started = time.time()                   # SVT001 wall clock
+        stamp = datetime.now()                  # SVT001 wall clock
+        home = os.environ["HOME"]               # SVT001 environment
+        token = os.getenv("TOKEN")              # SVT001 environment
+        key = id(params)                        # SVT001 id()
+        SHARED[cell] = jitter                   # SVT003 global write
+        SHARED.update({"home": home})           # SVT003 global mutate
+        thunk = lambda: token                   # SVT003 unpicklable
+        for item in {key, 2}:                   # SVT001 set iteration
+            jitter += item
+        return [cell, started, stamp, thunk]
+
+    def merge(self, params, payloads):
+        result = Result.create("bad")
+        result.notes = ("mutated",)             # SVT004 frozen mutation
+        return result
+
+
+def reset():
+    global SHARED                               # SVT003 global decl
+    SHARED = {}

@@ -1,0 +1,18 @@
+"""Fixture: every constant carries an anchored citation (SVT002)."""
+
+SWITCH_NS = 810                       # paper: Table 1 part 1
+
+# paper: Table 1 part 3 (CPUID anchor) — covers the whole table
+_HANDLERS = {
+    "CPUID": 2820,
+    "VMCALL": 2000,
+}
+
+
+# paper: §6 scheduler-wakeup share
+def scale(share=0.85):
+    return share
+
+
+def lookup(reason):
+    return _HANDLERS.get(reason, SWITCH_NS)

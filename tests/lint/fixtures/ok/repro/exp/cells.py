@@ -1,0 +1,27 @@
+"""Fixture: the compliant counterparts of every ``bad`` pattern.
+
+Linting this tree must yield zero findings.
+"""
+
+from random import Random
+
+from repro.exp.result import Result
+
+DEFAULTS = {"seed": 7}
+
+
+class OkExperiment:
+
+    def cells(self, params):
+        return tuple(sorted({"a", "b"}))        # ordered before use
+
+    def run_cell(self, cell, params):
+        rng = Random(params["seed"])            # seeded instance
+        ordered = sorted({1, 2, 3})             # order-insensitive
+        scratch = {}
+        scratch[cell] = rng.random()            # local, not module state
+        return [cell, scratch[cell], ordered]
+
+    def merge(self, params, payloads):
+        notes = tuple(payloads)
+        return Result.create("ok", notes=notes)  # built, never mutated

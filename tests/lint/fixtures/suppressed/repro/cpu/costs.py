@@ -1,0 +1,3 @@
+"""Fixture: an uncited constant deliberately suppressed (SVT002)."""
+
+TUNED_NS = 123  # svtlint: disable=SVT002

@@ -1,0 +1,22 @@
+"""Fixture: real violations opted out with svtlint suppressions.
+
+Exercises every suppression form: same-line with one rule, a comment
+line above the offender, and the bare ``disable`` that covers all
+rules.  Linting this tree must yield zero findings.
+"""
+
+import random
+import time
+
+STATE = {}
+
+
+class SuppressedExperiment:
+
+    def run_cell(self, cell, params):
+        jitter = random.random()  # svtlint: disable=SVT001
+        # svtlint: disable=SVT001
+        started = time.time()
+        STATE[cell] = jitter  # svtlint: disable=SVT003
+        STATE.update({"started": started})  # svtlint: disable
+        return [cell, started]

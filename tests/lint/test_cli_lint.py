@@ -1,0 +1,95 @@
+"""The ``repro lint`` command: formats, exit codes, dispatch."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import JSON_SCHEMA
+
+from tests.lint.helpers import FIXTURES
+
+
+def write_planted_tree(tmp_path):
+    """A synthetic repro/exp package with one unseeded random call."""
+    pkg = tmp_path / "repro" / "exp"
+    pkg.mkdir(parents=True)
+    planted = pkg / "planted.py"
+    planted.write_text(
+        "import random\n"
+        "\n"
+        "JITTER = random.random()\n"
+    )
+    return planted
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    assert lint_main([str(tmp_path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_planted_violation_exits_one_with_location(tmp_path, capsys):
+    planted = write_planted_tree(tmp_path)
+    assert lint_main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{planted}:3:" in out
+    assert "SVT001" in out
+
+
+def test_json_format_document(tmp_path, capsys):
+    write_planted_tree(tmp_path)
+    assert lint_main([str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == JSON_SCHEMA
+    assert doc["count"] == 1
+    [finding] = doc["findings"]
+    assert finding["rule"] == "SVT001"
+    assert finding["line"] == 3
+    assert finding["path"].endswith("planted.py")
+
+
+def test_rule_selection(tmp_path, capsys):
+    write_planted_tree(tmp_path)
+    assert lint_main([str(tmp_path), "--rules", "SVT002"]) == 0
+    assert lint_main([str(tmp_path), "--rules", "SVT001"]) == 1
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path), "--rules", "SVT999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SVT001", "SVT002", "SVT003", "SVT004"):
+        assert rule_id in out
+
+
+def test_syntax_error_reported_as_svt000(tmp_path, capsys):
+    bad = tmp_path / "repro" / "exp"
+    bad.mkdir(parents=True)
+    (bad / "broken.py").write_text("def oops(:\n")
+    assert lint_main([str(tmp_path)]) == 1
+    assert "SVT000" in capsys.readouterr().out
+
+
+def test_repro_cli_dispatches_lint(tmp_path, capsys):
+    write_planted_tree(tmp_path)
+    assert repro_main(["lint", str(tmp_path)]) == 1
+    assert "SVT001" in capsys.readouterr().out
+    assert repro_main(["lint", str(FIXTURES / "ok")]) == 0
+
+
+def test_fixture_trees_roundtrip_through_cli(capsys):
+    assert lint_main([str(FIXTURES / "bad")]) == 1
+    out = capsys.readouterr().out
+    for rule_id in ("SVT001", "SVT002", "SVT003", "SVT004"):
+        assert rule_id in out
+    assert lint_main([str(FIXTURES / "suppressed")]) == 0

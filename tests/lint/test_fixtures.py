@@ -1,0 +1,55 @@
+"""Fixture trees: positive, negative and suppressed cases per rule."""
+
+from collections import Counter
+
+from repro.lint import DEFAULT_RULES, lint_paths
+
+from tests.lint.helpers import FIXTURES
+
+
+def lint_tree(name):
+    return lint_paths([FIXTURES / name],
+                      [cls() for cls in DEFAULT_RULES])
+
+
+def test_bad_tree_yields_every_rule():
+    by_rule = Counter(finding.rule for finding in lint_tree("bad"))
+    assert by_rule == Counter(
+        {"SVT001": 8, "SVT002": 3, "SVT003": 4, "SVT004": 1}
+    )
+
+
+def test_bad_tree_locations_are_exact():
+    findings = lint_tree("bad")
+    cells = [(f.rule, f.line) for f in findings
+             if f.path.endswith("exp/cells.py")]
+    assert cells == [
+        ("SVT001", 20),   # tuple() over a set
+        ("SVT001", 23),   # random.random()
+        ("SVT001", 24),   # time.time()
+        ("SVT001", 25),   # datetime.now()
+        ("SVT001", 26),   # os.environ
+        ("SVT001", 27),   # os.getenv()
+        ("SVT001", 28),   # id()
+        ("SVT003", 29),   # module dict write
+        ("SVT003", 30),   # module dict .update()
+        ("SVT003", 31),   # lambda in run_cell
+        ("SVT001", 32),   # set iteration
+        ("SVT004", 38),   # frozen Result mutation
+        ("SVT003", 43),   # global declaration
+    ]
+    costs = [(f.rule, f.line) for f in findings
+             if f.path.endswith("cpu/costs.py")]
+    assert costs == [
+        ("SVT002", 3),    # uncited module constant
+        ("SVT002", 8),    # citation without an anchor
+        ("SVT002", 12),   # uncited parameter default
+    ]
+
+
+def test_ok_tree_is_clean():
+    assert lint_tree("ok") == []
+
+
+def test_suppressed_tree_is_clean():
+    assert lint_tree("suppressed") == []
