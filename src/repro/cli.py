@@ -15,6 +15,8 @@ set — nothing can be silently dropped.
     python -m repro all --json --jobs 4 --no-cache
     python -m repro smoke             # runtime baseline -> results/
     python -m repro lint              # svtlint invariant checker
+    python -m repro run cpuid --mode baseline --trace out.json
+    python -m repro table1 --metrics metrics.json
 
 Results are cached under ``results/cache/`` keyed by (experiment,
 params, cost-model fingerprint, code version); ``--no-cache`` forces
@@ -67,6 +69,12 @@ def build_parser():
     parser.add_argument("--out", type=Path, default=None,
                         help="for 'smoke': output path (default "
                              "results/runtime_smoke.json)")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        metavar="PATH",
+                        help="capture per-cell observability metrics and "
+                             "write the merged repro-metrics/1 document "
+                             "to PATH (disables the result cache for "
+                             "this invocation)")
     return parser
 
 
@@ -94,6 +102,91 @@ def _cmd_smoke(args):
     return 0
 
 
+def _cmd_run(argv):
+    """``repro run``: one traced workload on one machine.
+
+    Unlike the experiment path (statistics over many cells), this drives
+    a single :class:`~repro.core.system.Machine` with a live observer
+    and exports the raw telemetry: a Chrome ``trace_event`` file
+    (``--trace``, loadable in Perfetto), a flat metrics dump
+    (``--metrics``), and the Table-1 part breakdown recovered *from the
+    trace itself* — the cross-check that charge spans partition the
+    simulated time exactly as the tracer accounts it.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run one workload with observability on and export "
+                    "trace/metrics artifacts",
+    )
+    parser.add_argument("workload", choices=["cpuid"],
+                        help="workload to run (cpuid: the Table 1 / "
+                             "Fig. 6 microbenchmark)")
+    parser.add_argument("--mode", default="baseline",
+                        choices=["baseline", "sw_svt", "hw_svt"],
+                        help="execution mode (default baseline)")
+    parser.add_argument("--level", type=int, default=2,
+                        choices=[0, 1, 2],
+                        help="virtualization level to run at (default 2)")
+    parser.add_argument("--iterations", type=int, default=50,
+                        help="measured iterations (default 50; one "
+                             "warm-up iteration is added)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a Chrome trace_event JSON to PATH")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a repro-metrics/1 JSON dump to PATH")
+    parser.add_argument("--no-breakdown", action="store_true",
+                        help="skip the per-part breakdown table")
+    args = parser.parse_args(argv)
+
+    from repro.core.mode import ExecutionMode
+    from repro.core.system import Machine
+    from repro.cpu import isa
+    from repro.obs import (
+        Observer,
+        render_breakdown,
+        trace_breakdown,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    mode = ExecutionMode.validate(args.mode)
+    observer = Observer()
+    machine = Machine(mode=mode, observer=observer)
+    # One warm-up iteration, same protocol as repro.workloads.cpuid
+    # (the first HW SVt resume differs slightly); it is traced too, and
+    # the per-op breakdown divides by iterations + 1.
+    machine.run_program(isa.Program([isa.cpuid()], repeat=1),
+                        level=args.level)
+    result = machine.run_program(
+        isa.Program([isa.cpuid()], repeat=args.iterations),
+        level=args.level,
+    )
+    operations = args.iterations + 1
+    print(f"cpuid mode={mode} L{args.level}: "
+          f"{result.ns_per_instruction:.1f} ns/op "
+          f"({args.iterations} iterations + 1 warm-up)")
+
+    if args.trace is not None:
+        doc = write_chrome_trace(args.trace, observer,
+                                 process_name=f"repro-cpuid-{mode}")
+        print(f"trace: {len(doc['traceEvents'])} events -> {args.trace}")
+    if args.metrics is not None:
+        write_metrics(
+            args.metrics, [observer.metrics_snapshot()],
+            meta={"workload": "cpuid", "mode": str(mode),
+                  "level": args.level, "iterations": args.iterations},
+        )
+        print(f"metrics -> {args.metrics}")
+    if not args.no_breakdown:
+        rows = trace_breakdown(observer, operations=operations)
+        print(render_breakdown(
+            rows, title=f"Per-op breakdown from trace ({mode}, "
+                        f"L{args.level})"))
+    return 0
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["lint"]:
@@ -103,6 +196,10 @@ def main(argv=None):
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["run"]:
+        # Same pre-parse dispatch: 'run' drives one machine directly
+        # and has its own flags (--mode, --trace, ...).
+        return _cmd_run(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()
@@ -113,10 +210,19 @@ def main(argv=None):
              else [args.experiment])
     overrides = {"seed": args.seed, "iterations": args.iterations,
                  "depth": args.depth}
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    collect_metrics = args.metrics is not None
+    # Cached results carry no metrics; force recomputation when asked
+    # for a metrics dump so every cell actually runs under capture.
+    cache = (None if args.no_cache or collect_metrics
+             else ResultCache(args.cache_dir))
     report = runner.run_experiments(names, overrides=overrides,
-                                    jobs=args.jobs, cache=cache)
+                                    jobs=args.jobs, cache=cache,
+                                    collect_metrics=collect_metrics)
 
+    if collect_metrics:
+        args.metrics.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics.write_text(canonical_json(report.metrics_document()))
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
     if cache is not None:
         print(f"cache: served {len(report.served)}, "
               f"computed {len(report.computed)} "

@@ -98,7 +98,7 @@ class PairedChannels:
     they let L0 service interrupts and go back to waiting.
     """
 
-    def __init__(self, vcpu_name, capacity=64, placement="smt"):
+    def __init__(self, vcpu_name, capacity=64, placement="smt", obs=None):
         self.request = CommandRing(
             f"{vcpu_name}.req", capacity=capacity, placement=placement
         )
@@ -107,16 +107,23 @@ class PairedChannels:
         )
         self.in_flight = 0
         self.round_trips = 0
+        self.obs = obs
+
+    def _count(self, kind):
+        if self.obs is not None:
+            self.obs.count("channel_commands_total", kind=kind)
 
     def send_trap(self, payload, now=0):
         if self.in_flight:
             raise ChannelError("previous VM trap not yet resumed")
         self.in_flight += 1
+        self._count(CommandKind.VM_TRAP)
         return self.request.push(Command(CommandKind.VM_TRAP, payload), now)
 
     def send_resume(self, payload, now=0):
         if not self.in_flight:
             raise ChannelError("VM resume without an outstanding trap")
+        self._count(CommandKind.VM_RESUME)
         return self.response.push(
             Command(CommandKind.VM_RESUME, payload), now
         )
@@ -129,6 +136,10 @@ class PairedChannels:
         if command.kind == CommandKind.VM_RESUME:
             self.in_flight -= 1
             self.round_trips += 1
+        else:
+            # BLOCKED notifications (§5.3) are pushed onto the response
+            # ring directly; count them when they surface.
+            self._count(command.kind)
         return command
 
     def check_invariants(self):

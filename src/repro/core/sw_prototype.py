@@ -94,11 +94,15 @@ class DeadlockScenario:
     #: L0_0's interrupt-check period while waiting (the fix's poll).
     CHECK_PERIOD_NS = 500
 
-    def __init__(self, with_fix, costs=None):
+    def __init__(self, with_fix, costs=None, obs=None):
         self.with_fix = with_fix
         self.costs = costs or CostModel()
         self.sim = Simulator()
-        self.channels = PairedChannels("deadlock.vcpu0")
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.sim)
+            self.sim.obs = obs
+        self.channels = PairedChannels("deadlock.vcpu0", obs=obs)
         self.timeline = []
         self._svt_remaining = self.HANDLING_NS
         self._svt_preempted = False
@@ -158,6 +162,8 @@ class DeadlockScenario:
         if self._ipi_pending_for_l10:
             self._blocked_injected += 1
             self._ipi_pending_for_l10 = False
+            if self.obs is not None:
+                self.obs.count("svt_blocked_injections_total")
             self._log("L0_0 injects SVT_BLOCKED into L1_0")
             # L1_0 enables interrupts, handles the IPI, yields back.
             self.sim.after(self.ACK_NS, self._l10_acks_ipi)

@@ -25,15 +25,18 @@ class SwitchEngine:
 
     mode = None
 
-    def __init__(self, sim, tracer, costs):
+    def __init__(self, sim, tracer, costs, obs=None):
         self.sim = sim
         self.tracer = tracer
         self.costs = costs
+        self.obs = obs
 
     def _charge(self, ns, category):
         if ns:
             self.sim.advance(ns)
             self.tracer.record(category, ns)
+            if self.obs is not None:
+                self.obs.observe("switch_ns", ns, category=category)
 
     # -- crossings (overridden) -------------------------------------------
 
@@ -158,8 +161,8 @@ class SwSvtEngine(SwitchEngine):
     PROPAGATED_AUX = frozenset({"INVEPT", "CR_ACCESS"})
 
     def __init__(self, sim, tracer, costs, channels,
-                 placement="smt", mechanism="mwait"):
-        super().__init__(sim, tracer, costs)
+                 placement="smt", mechanism="mwait", obs=None):
+        super().__init__(sim, tracer, costs, obs=obs)
         self.channels = channels
         self.placement = placement
         self.mechanism = mechanism
@@ -170,6 +173,10 @@ class SwSvtEngine(SwitchEngine):
             self.costs.channel_one_way(self.placement, self.mechanism),
             Category.CHANNEL,
         )
+        if self.obs is not None:
+            self.obs.count("channel_hops_total",
+                           placement=self.placement,
+                           mechanism=self.mechanism)
 
     def exit_l2_to_l0(self):
         self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
@@ -246,8 +253,8 @@ class HwSvtEngine(SwitchEngine):
 
     mode = ExecutionMode.HW_SVT
 
-    def __init__(self, sim, tracer, costs, core):
-        super().__init__(sim, tracer, costs)
+    def __init__(self, sim, tracer, costs, core, obs=None):
+        super().__init__(sim, tracer, costs, obs=obs)
         self.core = core
 
     def load_vmcs(self, vmcs):
@@ -323,16 +330,17 @@ class HwSvtEngine(SwitchEngine):
 
 
 def make_engine(mode, sim, tracer, costs, core=None, channels=None,
-                placement="smt", mechanism="mwait"):
+                placement="smt", mechanism="mwait", obs=None):
     """Factory used by :class:`repro.core.system.Machine`."""
     ExecutionMode.validate(mode)
     if mode == ExecutionMode.BASELINE:
-        return BaselineEngine(sim, tracer, costs)
+        return BaselineEngine(sim, tracer, costs, obs=obs)
     if mode == ExecutionMode.SW_SVT:
         if channels is None:
             raise ConfigError("SW SVt needs a PairedChannels instance")
         return SwSvtEngine(sim, tracer, costs, channels,
-                           placement=placement, mechanism=mechanism)
+                           placement=placement, mechanism=mechanism,
+                           obs=obs)
     if core is None:
         raise ConfigError("HW SVt needs an SmtCore")
-    return HwSvtEngine(sim, tracer, costs, core)
+    return HwSvtEngine(sim, tracer, costs, core, obs=obs)

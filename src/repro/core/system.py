@@ -20,6 +20,7 @@ through the stack.
 """
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.config import paper_machine
@@ -31,6 +32,7 @@ from repro.cpu.interrupts import InterruptController
 from repro.cpu.isa import Op
 from repro.cpu.smt import SmtCore
 from repro.errors import ConfigError, EptFault, VirtualizationError
+from repro.obs.observer import ambient as obs_ambient
 from repro.sim.engine import Simulator
 from repro.sim.trace import Category, Tracer
 from repro.virt.exits import ExitInfo, ExitReason
@@ -59,22 +61,36 @@ class Machine:
 
     def __init__(self, mode=ExecutionMode.BASELINE, costs=None, config=None,
                  wait_mechanism="mwait", placement="smt", keep_events=False,
-                 engine_factory=None):
+                 engine_factory=None, observer=None):
         """``engine_factory(sim, tracer, costs, core, channels)`` replaces
         the mode's stock switch engine — the hook ablation studies use to
         model hybrid designs (e.g. SVt contexts multiplexed past the SMT
-        width, paper §3.1)."""
+        width, paper §3.1).
+
+        ``observer`` (a :class:`repro.obs.Observer`) turns on span
+        tracing and/or metrics; when ``None`` the machine adopts an
+        ambient capture observer if one is active (the experiment
+        runner's per-cell metrics path) and otherwise runs the exact
+        pre-observability fast path."""
         self.mode = ExecutionMode.validate(mode)
         self.costs = costs or CostModel()
         self.config = config or paper_machine()
         self.sim = Simulator()
-        self.tracer = Tracer(keep_events=keep_events)
+        if observer is None:
+            observer = obs_ambient()
+        self.obs = observer
+        self.tracer = Tracer(keep_events=keep_events,
+                             clock=self._read_clock)
+        if observer is not None:
+            observer.bind(self.sim)
+            self.sim.obs = observer
+            self.tracer.observer = observer
 
         n_contexts = 3 if mode == ExecutionMode.HW_SVT else 2
         self.core = SmtCore(self.sim, self.costs, self.tracer,
-                            n_contexts=n_contexts)
+                            n_contexts=n_contexts, obs=observer)
         self.interrupts = InterruptController(self.sim, n_contexts,
-                                              self.costs)
+                                              self.costs, obs=observer)
 
         self.l0 = Hypervisor("L0", 0)
         self.l1 = Hypervisor("L1", 1)
@@ -100,23 +116,29 @@ class Machine:
         self.channels = None
         if mode == ExecutionMode.SW_SVT:
             self.channels = PairedChannels(
-                self.l2_vm.vcpu.name, placement=placement
+                self.l2_vm.vcpu.name, placement=placement, obs=observer
             )
         if engine_factory is not None:
             self.engine = engine_factory(
                 self.sim, self.tracer, self.costs, self.core, self.channels
             )
+            # Ablation factories keep their legacy signature; attach the
+            # observer afterwards so their charges still hit the metrics.
+            if observer is not None and getattr(
+                    self.engine, "obs", None) is None:
+                self.engine.obs = observer
         else:
             self.engine = make_engine(
                 mode, self.sim, self.tracer, self.costs,
                 core=self.core, channels=self.channels,
                 placement=placement, mechanism=wait_mechanism,
+                obs=observer,
             )
 
         self.stack = NestedStack(
             self.sim, self.tracer, self.costs, self.engine,
             self.l0, self.l1, self.l1_vm, self.l2_vm,
-            interrupts=self.interrupts,
+            interrupts=self.interrupts, obs=observer,
         )
         self.stack.boot()
 
@@ -157,9 +179,13 @@ class Machine:
         start = self.sim.now
         exits_before = self._total_exits()
         count = 0
-        for instruction in program:
-            self.run_instruction(instruction, level)
-            count += 1
+        span = (self.obs.span("run_program", level=level,
+                              mode=str(self.mode))
+                if self.obs is not None else nullcontext())
+        with span:
+            for instruction in program:
+                self.run_instruction(instruction, level)
+                count += 1
         return RunResult(
             elapsed_ns=self.sim.now - start,
             instructions=count,
@@ -380,6 +406,10 @@ class Machine:
     def _total_exits(self):
         return (sum(self.stack.exit_counts.values())
                 + sum(self.stack.aux_exit_counts.values()))
+
+    def _read_clock(self):
+        """Zero-argument clock handed to the tracer's span API."""
+        return self.sim.now
 
     def _charge(self, ns, category):
         if ns:

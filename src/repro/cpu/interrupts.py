@@ -32,13 +32,14 @@ class Vectors:
 class InterruptController:
     """Pending-interrupt bookkeeping for every context of one core."""
 
-    def __init__(self, sim, n_contexts, cost_model):
+    def __init__(self, sim, n_contexts, cost_model, obs=None):
         self._sim = sim
         self._costs = cost_model
         self._pending = [deque() for _ in range(n_contexts)]
         self._deadline_handles = {}
         self._redirect_target = None
         self._observers = []
+        self.obs = obs
         self.delivered = 0
 
     # -- configuration ----------------------------------------------------
@@ -97,6 +98,9 @@ class InterruptController:
     def _deliver(self, context_index, vector):
         self._pending[context_index].append((vector, self._sim.now))
         self.delivered += 1
+        if self.obs is not None:
+            self.obs.count("irqs_delivered_total",
+                           vector=f"0x{vector:02x}", ctx=context_index)
         for callback in self._observers:
             callback(context_index, vector)
 

@@ -26,13 +26,14 @@ class SmtCore:
     """One SMT core: contexts, shared PRF, SVt micro-registers."""
 
     def __init__(self, sim, cost_model, tracer, n_contexts=2, prf_size=512,
-                 core_id=0):
+                 core_id=0, obs=None):
         if n_contexts < 1:
             raise VirtualizationError("core needs at least one context")
         self.core_id = core_id
         self.sim = sim
         self.costs = cost_model
         self.tracer = tracer
+        self.obs = obs
         self.prf = PhysicalRegisterFile(prf_size)
         self.contexts = [
             HardwareContext(i, self.prf) for i in range(n_contexts)
@@ -122,6 +123,9 @@ class SmtCore:
         self.svt_current = target_index
         self.sim.advance(self.costs.svt_stall_resume)
         self.tracer.record(Category.STALL_RESUME, self.costs.svt_stall_resume)
+        if self.obs is not None:
+            self.obs.count("svt_transitions_total",
+                           src=current.index, dst=target_index)
         self.check_single_running()
 
     # -- cross-context register file access (paper §4, ctxtld/ctxtst) ---------
@@ -133,6 +137,8 @@ class SmtCore:
         value = self.context(target_index).read(register)
         self.sim.advance(self.costs.ctxt_access)
         self.tracer.record(Category.CROSS_CONTEXT, self.costs.ctxt_access)
+        if self.obs is not None:
+            self.obs.count("ctxt_access_total", op="ctxtld")
         return value
 
     def cross_write(self, target_index, register, value):
@@ -140,6 +146,8 @@ class SmtCore:
         self.context(target_index).write(register, value)
         self.sim.advance(self.costs.ctxt_access)
         self.tracer.record(Category.CROSS_CONTEXT, self.costs.ctxt_access)
+        if self.obs is not None:
+            self.obs.count("ctxt_access_total", op="ctxtst")
 
     def __repr__(self):
         return (

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Union
 
 from repro.errors import ConfigError
+from repro.obs.metrics import flatten_metrics
 
 #: Version tag embedded in every serialized result.
 SCHEMA = "repro-result/1"
@@ -254,6 +255,20 @@ class Result:
     @classmethod
     def from_json(cls, text: str) -> Result:
         return cls.from_dict(json.loads(text))
+
+
+def metrics_pairs(snapshot: Mapping[str, Any]) -> Pairs:
+    """Flatten an observability metrics snapshot into frozen pairs.
+
+    Lets an experiment attach selected per-run counters to a result's
+    ``scalars``/``meta`` without breaking the frozen-mapping contract:
+    histogram entries become ``key!count``/``key!sum`` integers, and the
+    ordering is the deterministic one `repro.obs.metrics` guarantees.
+    """
+    pairs: list[tuple[str, Scalar]] = []
+    for key, value in flatten_metrics(snapshot):
+        pairs.append((str(key), _check_scalar(value, f"metrics[{key!r}]")))
+    return tuple(pairs)
 
 
 def canonical_json(doc: Any) -> str:

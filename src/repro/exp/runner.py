@@ -25,6 +25,9 @@ from repro.exp import registry
 from repro.exp.cache import ResultCache, code_fingerprint, \
     cost_model_fingerprint
 from repro.exp.result import Result, canonical_json
+from repro.obs.export import metrics_document
+from repro.obs.metrics import merge_snapshots
+from repro.obs.observer import capture_metrics
 
 #: Top-level schema of the ``--json`` document.
 DOCUMENT_SCHEMA = "repro-results/1"
@@ -38,6 +41,10 @@ class ExperimentRun:
     result: Result
     cached: bool
     seconds: float          # summed cell compute time (0.0 when cached)
+    #: Merged per-cell metrics snapshot (``collect_metrics`` runs only;
+    #: ``None`` otherwise).  Deliberately NOT part of the canonical
+    #: result document — see :meth:`RunReport.metrics_document`.
+    metrics: Optional[dict[str, Any]] = None
 
 
 @dataclass
@@ -95,34 +102,68 @@ class RunReport:
     def to_json(self) -> str:
         return canonical_json(self.to_document())
 
+    def metrics_document(self) -> dict[str, Any]:
+        """Aggregate every run's metrics into one flat JSON document.
 
-def _execute_cell(name: str, cell: str, params: dict[str, Any]) \
-        -> tuple[str, str, Any, float]:
+        Metrics are simulation-derived (counters of deterministic
+        events), so the document is as reproducible as the results —
+        but it is a *separate* artifact: keeping it out of
+        :meth:`to_document` preserves the result schema and the cache's
+        byte-identity guarantee.
+        """
+        snapshots = [run.metrics for run in self.runs
+                     if run.metrics is not None]
+        return metrics_document(
+            snapshots,
+            meta={"experiments": sorted(
+                run.name for run in self.runs if run.metrics is not None
+            )},
+        )
+
+
+def _execute_cell(name: str, cell: str, params: dict[str, Any],
+                  collect_metrics: bool = False) \
+        -> tuple[str, str, Any, float, Optional[dict[str, Any]]]:
     """Worker entry point: one cell in a fresh simulator.
 
     Module-level so it pickles; re-resolves the experiment through the
-    registry so it also works under the ``spawn`` start method.
+    registry so it also works under the ``spawn`` start method.  With
+    ``collect_metrics`` the cell runs under an ambient metrics capture
+    (`repro.obs.observer.capture_metrics`): every machine the cell
+    builds adopts the capture observer, and its snapshot travels back
+    with the payload.  The capture stack is per-process, so pool
+    workers never share observer state.
     """
     experiment = registry.get(name)
     # Wall-clock here is diagnostic only (ExperimentRun.seconds feeds
     # results/runtime_smoke.json) and never enters a result document.
     started = time.perf_counter()  # svtlint: disable=SVT001
-    payload = experiment.run_cell(cell, params)
+    snapshot: Optional[dict[str, Any]] = None
+    if collect_metrics:
+        with capture_metrics() as observer:
+            payload = experiment.run_cell(cell, params)
+        snapshot = observer.metrics_snapshot()
+    else:
+        payload = experiment.run_cell(cell, params)
     took = time.perf_counter() - started  # svtlint: disable=SVT001
-    return name, cell, payload, took
+    return name, cell, payload, took, snapshot
 
 
 def run_experiments(names: Iterable[str],
                     overrides: Optional[Mapping[str, Any]] = None,
                     jobs: int = 1,
                     cache: Optional[ResultCache] = None,
-                    smoke: bool = False) -> RunReport:
+                    smoke: bool = False,
+                    collect_metrics: bool = False) -> RunReport:
     """Run a batch of experiments, reusing cached results.
 
     ``names`` is any iterable of registered names; ``overrides`` is one
     shared parameter namespace (each experiment takes only what it
     declares); ``cache=None`` disables caching; ``smoke`` applies each
-    experiment's fast-run parameter overrides first.
+    experiment's fast-run parameter overrides first;
+    ``collect_metrics`` captures per-cell observability metrics
+    (cached results carry no metrics, so the CLI disables the cache
+    when asked for them).
     """
     # Diagnostic wall-clock (RunReport.wall_seconds stays out of the
     # canonical result document; see to_document's docstring).
@@ -161,6 +202,7 @@ def run_experiments(names: Iterable[str],
 
     payloads: dict[tuple[str, str], Any] = {}
     seconds: dict[str, float] = {}
+    snapshots: dict[str, list[dict[str, Any]]] = {}
     if report.jobs > 1 and len(cells) > 1:
         with ProcessPoolExecutor(max_workers=report.jobs) as pool:
             outcomes = pool.map(
@@ -168,15 +210,22 @@ def run_experiments(names: Iterable[str],
                 [c[0] for c in cells],
                 [c[1] for c in cells],
                 [c[2] for c in cells],
+                [collect_metrics] * len(cells),
             )
-            for name, cell, payload, took in outcomes:
+            for name, cell, payload, took, snapshot in outcomes:
                 payloads[(name, cell)] = payload
                 seconds[name] = seconds.get(name, 0.0) + took
+                if snapshot is not None:
+                    snapshots.setdefault(name, []).append(snapshot)
     else:
         for name, cell, params in cells:
-            _, _, payload, took = _execute_cell(name, cell, params)
+            _, _, payload, took, snapshot = _execute_cell(
+                name, cell, params, collect_metrics
+            )
             payloads[(name, cell)] = payload
             seconds[name] = seconds.get(name, 0.0) + took
+            if snapshot is not None:
+                snapshots.setdefault(name, []).append(snapshot)
 
     for name, experiment, params in plans:
         ordered = {
@@ -186,8 +235,14 @@ def run_experiments(names: Iterable[str],
         result = experiment.merge(params, ordered)
         if cache is not None:
             cache.store(name, params, result)
+        metrics = None
+        if collect_metrics:
+            # merge_snapshots is order-independent, so the merged
+            # snapshot is identical at any --jobs setting.
+            metrics = merge_snapshots(snapshots.get(name, []))
         finished[name] = ExperimentRun(name, result,
-                                       False, seconds.get(name, 0.0))
+                                       False, seconds.get(name, 0.0),
+                                       metrics=metrics)
 
     report.runs = [finished[name] for name in names]
     report.wall_seconds = \

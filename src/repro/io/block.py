@@ -41,9 +41,10 @@ class BlkRequest:
 class VirtioBlkDevice(MmioDevice):
     """Guest-facing virtio-blk front-end (one request queue)."""
 
-    def __init__(self, name, base_gpa, backend=None, queue_size=256):
+    def __init__(self, name, base_gpa, backend=None, queue_size=256,
+                 obs=None):
         super().__init__(name, base_gpa)
-        self.requests = VirtQueue(f"{name}.req", queue_size)
+        self.requests = VirtQueue(f"{name}.req", queue_size, obs=obs)
         self.backend = backend
         self.completed = []
 
@@ -131,6 +132,13 @@ class RamDiskBackend:
             self.reads += 1
         request.completed_at = machine.sim.now
         device.requests.push_used(descriptor)
+        if machine.obs is not None:
+            machine.obs.count(
+                "blk_requests_total",
+                op="write" if request.write else "read",
+            )
+            machine.obs.observe("blk_latency_ns", request.latency_ns,
+                                op="write" if request.write else "read")
         if self.notify_completion and device.requests.should_notify():
             machine.stack.inject_irq_into_l2(Vectors.BLOCK)
 
@@ -146,6 +154,7 @@ def install_block(machine, timings=None):
     """Attach the nested virtio-blk path to a machine."""
     timings = timings or DeviceTimings()
     backend = RamDiskBackend(machine, timings)
-    device = VirtioBlkDevice("l2-blk", L2_BLK_BASE, backend=backend)
+    device = VirtioBlkDevice("l2-blk", L2_BLK_BASE, backend=backend,
+                             obs=machine.obs)
     machine.l2_vm.attach_mmio_device(device, L2_BLK_BASE)
     return BlockSetup(device=device, backend=backend, timings=timings)

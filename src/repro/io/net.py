@@ -48,10 +48,11 @@ class Packet:
 class VirtioNetDevice(MmioDevice):
     """Guest-facing virtio-net front-end (one TX and one RX queue)."""
 
-    def __init__(self, name, base_gpa, backend=None, queue_size=256):
+    def __init__(self, name, base_gpa, backend=None, queue_size=256,
+                 obs=None):
         super().__init__(name, base_gpa)
-        self.tx = VirtQueue(f"{name}.tx", queue_size)
-        self.rx = VirtQueue(f"{name}.rx", queue_size)
+        self.tx = VirtQueue(f"{name}.tx", queue_size, obs=obs)
+        self.rx = VirtQueue(f"{name}.rx", queue_size, obs=obs)
         self.backend = backend
         self.received = []   # packets delivered to the driver
 
@@ -111,6 +112,7 @@ class VhostNetBackend:
 
     def process_tx(self, device):
         machine = self.machine
+        obs = machine.obs
         machine.elapse(self.timings.vhost_tx_ns, Category.IO_DEVICE)
         sent = []
         while True:
@@ -120,6 +122,9 @@ class VhostNetBackend:
             device.tx.push_used(descriptor)
             sent.append(descriptor.payload)
         self.tx_processed += len(sent)
+        if obs is not None and sent:
+            obs.count("net_tx_packets_total", n=len(sent),
+                      level=self.owner_level)
         for packet in sent:
             self._forward(packet)
         if (sent and self.notify_tx_completion and self.owner_level == 1
@@ -152,6 +157,8 @@ class VhostNetBackend:
         """RX chain from this (L0) backend all the way into L2."""
         machine = self.machine
         timings = self.timings
+        if machine.obs is not None:
+            machine.obs.count("net_rx_packets_total")
         # L0's vhost hands the frame to L1 (interrupt + vhost work)...
         machine.elapse(timings.irq_wire_ns, Category.INTERRUPT)
         machine.stack.inject_irq_into_l1(Vectors.NET_RX)
@@ -215,12 +222,12 @@ def install_network(machine, timings=None):
     timings = timings or DeviceTimings()
     fabric = NetworkFabric(machine, timings)
 
-    l1_nic = VirtioNetDevice("l1-nic", L1_NIC_BASE)
+    l1_nic = VirtioNetDevice("l1-nic", L1_NIC_BASE, obs=machine.obs)
     l0_backend = VhostNetBackend(machine, timings, 0, fabric)
     l1_nic.backend = l0_backend
     machine.l1_vm.attach_mmio_device(l1_nic, L1_NIC_BASE)
 
-    l2_nic = VirtioNetDevice("l2-nic", L2_NIC_BASE)
+    l2_nic = VirtioNetDevice("l2-nic", L2_NIC_BASE, obs=machine.obs)
     l1_backend = VhostNetBackend(machine, timings, 1, l1_nic)
     l2_nic.backend = l1_backend
     machine.l2_vm.attach_mmio_device(l2_nic, L2_NIC_BASE)

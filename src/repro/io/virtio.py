@@ -32,11 +32,12 @@ class VirtioDescriptor:
 class VirtQueue:
     """One split virtqueue."""
 
-    def __init__(self, name, size=256):
+    def __init__(self, name, size=256, obs=None):
         if size < 1 or size & (size - 1):
             raise VirtualizationError("virtqueue size must be a power of 2")
         self.name = name
         self.size = size
+        self.obs = obs
         self._free = deque(range(size))
         self._table = [None] * size
         self._avail = deque()
@@ -70,6 +71,8 @@ class VirtQueue:
         """Doorbell write happened (counted; the MMIO exit itself is the
         machine layer's business)."""
         self.kicks += 1
+        if self.obs is not None:
+            self.obs.count("virtqueue_kicks_total", queue=self.name)
 
     def enable_event_idx(self):
         """Negotiate VIRTIO_RING_F_EVENT_IDX."""
@@ -130,6 +133,8 @@ class VirtQueue:
         )
         self._used.append(descriptor.index)
         self.completed += 1
+        if self.obs is not None:
+            self.obs.count("virtqueue_completions_total", queue=self.name)
 
     # -- introspection -----------------------------------------------------------
 

@@ -32,7 +32,7 @@ import ast
 from repro.lint.engine import LintContext, Rule, package_scoped
 from repro.lint.source import SourceFile
 
-PACKAGES = ("repro.exp", "repro.sim", "repro.workloads")
+PACKAGES = ("repro.exp", "repro.obs", "repro.sim", "repro.workloads")
 
 _RANDOM_ALLOWED = {"Random", "SystemRandom"}
 _TIME_FORBIDDEN = {

@@ -61,6 +61,20 @@ class Simulator:
         self._seq = 0
         self._pending = 0
         self._firing = False
+        # Observability hook (repro.obs.Observer); None keeps event
+        # firing on the exact pre-observability path.
+        self.obs = None
+
+    def _fire(self, head):
+        """Run one due event's callback, optionally under a span."""
+        obs = self.obs
+        if obs is not None and obs.tracing:
+            name = getattr(head.callback, "__qualname__",
+                           head.callback.__class__.__name__)
+            with obs.span(f"event:{name}", t=head.time, seq=head.seq):
+                head.callback(*head.args)
+        else:
+            head.callback(*head.args)
 
     # -- scheduling ------------------------------------------------------
 
@@ -115,7 +129,7 @@ class Simulator:
             self._pending -= 1
             head._owner = None
             self.now = head.time
-            head.callback(*head.args)
+            self._fire(head)
         if target is not None and target > self.now:
             self.now = target
         return self.now
@@ -152,4 +166,4 @@ class Simulator:
             self._pending -= 1
             head._owner = None
             self.now = head.time
-            head.callback(*head.args)
+            self._fire(head)

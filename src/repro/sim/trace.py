@@ -7,6 +7,7 @@ buckets used by the I/O and application models.  The Table 1 reproduction
 """
 
 from collections import defaultdict
+from contextlib import contextmanager
 
 
 class Category:
@@ -40,13 +41,24 @@ class Category:
 
 
 class Tracer:
-    """Accumulates per-category time and (optionally) an event log."""
+    """Accumulates per-category time and (optionally) an event log.
 
-    def __init__(self, keep_events=False):
+    ``observer`` (a :class:`repro.obs.Observer`, attached by the
+    machine when observability is on) receives every charge as a span;
+    ``clock`` (a zero-argument callable returning simulated ns) enables
+    the :meth:`span` self-time API.  Both default off, keeping the
+    disabled hot path identical to the pre-observability code.
+    """
+
+    def __init__(self, keep_events=False, clock=None):
         self.totals = defaultdict(int)
         self.counts = defaultdict(int)
         self.keep_events = keep_events
         self.events = []
+        self.observer = None
+        self.clock = clock
+        #: Open :meth:`span` frames: ``[category, start_ns, child_ns]``.
+        self._span_stack = []
 
     def record(self, category, ns, **meta):
         """Attribute ``ns`` nanoseconds to ``category``."""
@@ -56,6 +68,49 @@ class Tracer:
         self.counts[category] += 1
         if self.keep_events:
             self.events.append((category, ns, meta))
+        if self.observer is not None:
+            self.observer.charge(category, ns, meta or None)
+
+    @contextmanager
+    def span(self, category, **meta):
+        """Attribute a clocked interval's **self-time** to ``category``.
+
+        Nested spans subtract cleanly: a parent is charged its elapsed
+        time minus the *whole* elapsed time of its direct children, so
+        every simulated nanosecond inside the outermost span lands in
+        exactly one category.  This holds for recursive re-entry of the
+        same category too — each frame tracks only its direct children's
+        elapsed time, so a re-entered category's inner frame cannot be
+        double-counted against both its own total and its ancestors'
+        (the historical drift bug: subtracting recursive child time from
+        every ancestor frame pushed category totals below the wall
+        elapsed time; see ``tests/sim/test_trace.py``).
+        """
+        if self.clock is None:
+            raise ValueError("Tracer.span needs a clock "
+                             "(Tracer(clock=...) or tracer.clock = ...)")
+        frame = [category, self.clock(), 0]
+        self._span_stack.append(frame)
+        try:
+            yield
+        finally:
+            # A reset() mid-span discards the open frames; in that case
+            # there is nothing left to charge this window against.
+            if self._span_stack and self._span_stack[-1] is frame:
+                self._span_stack.pop()
+                elapsed = self.clock() - frame[1]
+                self_ns = elapsed - frame[2]
+                if self_ns < 0:
+                    raise ValueError(
+                        f"span {category!r}: child time {frame[2]} "
+                        f"exceeds elapsed {elapsed}"
+                    )
+                self.record(category, self_ns, **meta)
+                if self._span_stack:
+                    # Only the *direct* parent absorbs this frame's
+                    # whole window; grandparents see it through the
+                    # parent's.
+                    self._span_stack[-1][2] += elapsed
 
     def total(self, *categories):
         """Sum of the given categories (all categories when none given)."""
@@ -84,6 +139,7 @@ class Tracer:
         self.totals.clear()
         self.counts.clear()
         self.events.clear()
+        self._span_stack.clear()
 
     def snapshot(self):
         """Plain-dict copy of the totals (useful for diffs in tests)."""

@@ -56,6 +56,8 @@ class Hypervisor:
         self.level = level
         self.guests = []          # VirtualMachine instances this one runs
         self.policy = L0Policy()
+        # Observability sink; attached by the stack when enabled.
+        self.obs = None
         self.hypercalls = {}      # number -> callable(payload) -> value
         self.exit_counts = Counter()
         # Timer plumbing: set by the machine so WRMSR(TSC_DEADLINE) can
@@ -117,6 +119,9 @@ class Hypervisor:
             raise VirtualizationError(
                 f"{self.name}: unhandled exit reason {exit_info.reason}"
             )
+        if self.obs is not None:
+            self.obs.count("handler_dispatch_total", hypervisor=self.name,
+                           reason=exit_info.reason)
         if self.level >= 1:
             for field_name in self.AUX_TOUCH.get(exit_info.reason, ()):
                 vmcs.guest_read(field_name)

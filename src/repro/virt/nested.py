@@ -17,6 +17,7 @@ lines 8-10), L0 uses raw ``read``/``write``.
 """
 
 from collections import Counter
+from contextlib import nullcontext
 
 from repro.cpu.smt import INVALID_CONTEXT
 from repro.errors import VirtualizationError
@@ -33,12 +34,15 @@ from repro.virt.vmcs import Vmcs
 #: lines 3-5); the rest is charged on the resume side (lines 13-14).
 _L0_INJECT_NUMER, _L0_INJECT_DENOM = 11, 20
 
+#: Reusable no-op context manager for the observability-off path.
+_NO_SPAN = nullcontext()
+
 
 class NestedStack:
     """A booted L0/L1/L2 stack executing Algorithm 1 per VM trap."""
 
     def __init__(self, sim, tracer, costs, engine, l0, l1, l1_vm, l2_vm,
-                 interrupts=None):
+                 interrupts=None, obs=None):
         self.sim = sim
         self.tracer = tracer
         self.costs = costs
@@ -48,6 +52,9 @@ class NestedStack:
         self.l1_vm = l1_vm
         self.l2_vm = l2_vm
         self.interrupts = interrupts
+        self.obs = obs
+        l0.obs = obs
+        l1.obs = obs
 
         # Descriptor graph (Figure 2).  ept01 translates L1's guest-
         # physical addresses; ept12 is L1's table for L2.
@@ -146,18 +153,33 @@ class NestedStack:
         vcpu.exits += 1
         started = self.sim.now
 
-        self.vmcs02.record_exit(exit_info)     # hardware exit-info write
-        self.engine.exit_l2_to_l0()            # line 2
+        obs = self.obs
+        span = (obs.span(f"l2_exit:{exit_info.reason}", level=0,
+                         reason=exit_info.reason)
+                if obs is not None else None)
+        if span is not None:
+            span.__enter__()
+        try:
+            self.vmcs02.record_exit(exit_info)     # hardware exit-info
+            self.engine.exit_l2_to_l0()            # line 2
 
-        if self._l0_owns(exit_info):
-            self._handle_direct(exit_info, vcpu)
-        else:
-            self._reflect_to_l1(exit_info, vcpu)
+            if self._l0_owns(exit_info):
+                self._handle_direct(exit_info, vcpu)
+            else:
+                self._reflect_to_l1(exit_info, vcpu)
 
-        self.engine.resume_l2()                # line 15
+            self.engine.resume_l2()                # line 15
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
         elapsed = self.sim.now - started
         self.exit_ns[exit_info.reason] += elapsed
         self.exit_counts[exit_info.reason] += 1
+        if obs is not None:
+            obs.count("exits_total", reason=exit_info.reason, level=2,
+                      mode=self.engine.mode)
+            obs.observe("exit_ns", elapsed, reason=exit_info.reason,
+                        level=2)
         return elapsed
 
     def _l0_owns(self, exit_info):
@@ -186,11 +208,15 @@ class NestedStack:
     def _reflect_to_l1(self, exit_info, vcpu):
         """Alg. 1 lines 3-14: reflect into L1 and return."""
         costs = self.costs
+        obs = self.obs
         self.engine.charge_l0_lazy_nested()
 
         # Line 3: reflect hardware-written state into vmcs12.
         self._charge(costs.vmcs_transform_each, Category.VMCS_TRANSFORM)
-        transform_02_to_12(self.vmcs02, self.vmcs12, self.ept01)
+        with (obs.span("vmcs_transform:02->12", level=0)
+              if obs is not None else _NO_SPAN):
+            transform_02_to_12(self.vmcs02, self.vmcs12, self.ept01,
+                               obs=obs)
 
         # Lines 4-5: load vmcs01, inject the trap into vmcs12.
         l0_cost = costs.l0_pure(exit_info.reason)
@@ -207,7 +233,11 @@ class NestedStack:
         # callback while it touches non-shadowed vmcs01' fields).
         self._charge(costs.l1_pure(exit_info.reason), Category.L1_HANDLER)
         writer = self.engine.l1_writer(vcpu)
-        self.l1.handle_exit(exit_info, self.l2_vm, vcpu, writer, self.vmcs01p)
+        with (obs.span(f"l1_handler:{exit_info.reason}", level=1,
+                       reason=exit_info.reason)
+              if obs is not None else _NO_SPAN):
+            self.l1.handle_exit(exit_info, self.l2_vm, vcpu, writer,
+                                self.vmcs01p)
 
         # Line 12: L1's VM resume traps back into L0.
         self.engine.leave_l1(vcpu)
@@ -216,8 +246,11 @@ class NestedStack:
         self.engine.load_vmcs(self.vmcs02)
         self._charge(l0_cost - inject_cost, Category.L0_HANDLER)
         self._charge(costs.vmcs_transform_each, Category.VMCS_TRANSFORM)
-        transform_12_to_02(self.vmcs12, self.vmcs02, self.ept01,
-                           self.l0.policy, composed_ept=self.composed_ept)
+        with (obs.span("vmcs_transform:12->02", level=0)
+              if obs is not None else _NO_SPAN):
+            transform_12_to_02(self.vmcs12, self.vmcs02, self.ept01,
+                               self.l0.policy,
+                               composed_ept=self.composed_ept, obs=obs)
 
     # ------------------------------------------------------------------
     # Aux traps: L1's privileged ops during handling (Alg. 1 lines 8-10)
@@ -229,12 +262,7 @@ class NestedStack:
         if not self._shadowing:
             return
         started = self.sim.now
-        self.engine.aux_exit_begin()
-        self._charge(self.costs.l0_pure(kind), Category.L0_HANDLER)
-        propagate = getattr(self.engine, "propagate_aux", None)
-        if propagate is not None:
-            propagate(kind)
-        self.engine.aux_exit_end()
+        self._aux_trap(kind, f"aux_exit:vmcs:{field_name}")
         self.aux_exit_counts[kind] += 1
         self.aux_exit_ns[kind] += self.sim.now - started
 
@@ -242,14 +270,23 @@ class NestedStack:
         """A privileged non-VMCS op by L1 during handling (INVEPT, timer
         reprogramming, control-register writes) — same trap pattern."""
         started = self.sim.now
-        self.engine.aux_exit_begin()
-        self._charge(self.costs.l0_pure(kind), Category.L0_HANDLER)
-        propagate = getattr(self.engine, "propagate_aux", None)
-        if propagate is not None:
-            propagate(kind)
-        self.engine.aux_exit_end()
+        self._aux_trap(kind, f"aux_exit:{kind}")
         self.aux_exit_counts[kind] += 1
         self.aux_exit_ns[kind] += self.sim.now - started
+
+    def _aux_trap(self, kind, span_name):
+        """Shared aux-trap body: L0 captures the trap, emulates, resumes."""
+        obs = self.obs
+        with (obs.span(span_name, level=0, kind=kind)
+              if obs is not None else _NO_SPAN):
+            self.engine.aux_exit_begin()
+            self._charge(self.costs.l0_pure(kind), Category.L0_HANDLER)
+            propagate = getattr(self.engine, "propagate_aux", None)
+            if propagate is not None:
+                propagate(kind)
+            self.engine.aux_exit_end()
+        if obs is not None:
+            obs.count("aux_exits_total", kind=kind)
 
     # ------------------------------------------------------------------
     # Single-level exits: L1's own traps into L0
@@ -261,17 +298,27 @@ class NestedStack:
         vcpu = self.l1_vm.vcpu
         vcpu.exits += 1
         started = self.sim.now
-        self.vmcs01.record_exit(exit_info)
-        self.engine.exit_l1_single()
-        self.engine.charge_l0_single_lazy()
-        self._charge(self.costs.l0_single(exit_info.reason),
-                     Category.L0_HANDLER)
-        writer = self.engine.l0_single_writer(vcpu)
-        self.l0.handle_exit(exit_info, self.l1_vm, vcpu, writer, self.vmcs01)
-        self.engine.resume_l1_single()
+        obs = self.obs
+        with (obs.span(f"l1_exit:{exit_info.reason}", level=0,
+                       reason=exit_info.reason)
+              if obs is not None else _NO_SPAN):
+            self.vmcs01.record_exit(exit_info)
+            self.engine.exit_l1_single()
+            self.engine.charge_l0_single_lazy()
+            self._charge(self.costs.l0_single(exit_info.reason),
+                         Category.L0_HANDLER)
+            writer = self.engine.l0_single_writer(vcpu)
+            self.l0.handle_exit(exit_info, self.l1_vm, vcpu, writer,
+                                self.vmcs01)
+            self.engine.resume_l1_single()
         elapsed = self.sim.now - started
         self.exit_ns["L1:" + exit_info.reason] += elapsed
         self.exit_counts["L1:" + exit_info.reason] += 1
+        if obs is not None:
+            obs.count("exits_total", reason=exit_info.reason, level=1,
+                      mode=self.engine.mode)
+            obs.observe("exit_ns", elapsed, reason=exit_info.reason,
+                        level=1)
         return elapsed
 
     # ------------------------------------------------------------------
@@ -290,6 +337,8 @@ class NestedStack:
         )
         self._charge(self.costs.irq_delivery, Category.INTERRUPT)
         self.engine.charge_guest_wake(2)
+        if self.obs is not None:
+            self.obs.count("irq_injected_total", level=2, vector=vector)
         return self.l2_exit(info)
 
     def inject_irq_into_l1(self, vector):
@@ -302,6 +351,8 @@ class NestedStack:
         self._charge(self.costs.irq_delivery, Category.INTERRUPT)
         self._charge(self.costs.irq_inject, Category.INTERRUPT)
         self.engine.charge_guest_wake(1)
+        if self.obs is not None:
+            self.obs.count("irq_injected_total", level=1, vector=vector)
         return self.l1_exit(info)
 
     # ------------------------------------------------------------------

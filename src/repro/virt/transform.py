@@ -59,7 +59,8 @@ def sync_shadow_to_vmcs12(vmcs01_prime, vmcs12, fields=None):
     return names
 
 
-def transform_12_to_02(vmcs12, vmcs02, ept01, policy, composed_ept=None):
+def transform_12_to_02(vmcs12, vmcs02, ept01, policy, composed_ept=None,
+                       obs=None):
     """Build/refresh vmcs02 from vmcs12 (paper Fig. 2 step ②).
 
     ``ept01`` is L0's EPT for L1 — the table that turns "guest physical
@@ -98,10 +99,15 @@ def transform_12_to_02(vmcs12, vmcs02, ept01, policy, composed_ept=None):
     if composed_ept is not None:
         vmcs02.ept = composed_ept
     vmcs02.take_dirty()
+    if obs is not None:
+        obs.count("vmcs_fields_copied_total", direction="12->02",
+                  n=len(_GUEST_STATE_FIELDS) + len(_CONTROL_FIELDS))
+        obs.count("vmcs_fields_translated_total", direction="12->02",
+                  n=len(translated))
     return translated
 
 
-def transform_02_to_12(vmcs02, vmcs12, ept01):
+def transform_02_to_12(vmcs02, vmcs12, ept01, obs=None):
     """Reflect post-trap state of vmcs02 back into vmcs12 (Alg. 1 line 3).
 
     Guest state (e.g. the RIP that trapped) and the exit-information area
@@ -122,4 +128,7 @@ def transform_02_to_12(vmcs02, vmcs12, ept01):
         vmcs12.write(name, value, force=True)
         reflected.append(name)
     vmcs12.take_dirty()
+    if obs is not None:
+        obs.count("vmcs_fields_copied_total", direction="02->12",
+                  n=len(reflected))
     return reflected

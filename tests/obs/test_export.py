@@ -1,0 +1,145 @@
+"""Exporters: Chrome trace structure, metrics documents, Table-1 text."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    MACHINE_TID,
+    METRICS_SCHEMA,
+    TRACE_PID,
+    charge_totals,
+    charge_totals_from_events,
+    chrome_trace,
+    metrics_document,
+    render_breakdown,
+    trace_breakdown,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.observer import Observer
+from repro.sim.engine import Simulator
+from repro.sim.trace import Category
+
+
+@pytest.fixture
+def traced_observer():
+    """Observer with one charge per Table-1 category plus one
+    structural span and one level-less charge."""
+    sim = Simulator()
+    observer = Observer(sim)
+    for ns, category in ((50, Category.GUEST_WORK),
+                         (810, Category.SWITCH_L2_L0),
+                         (1290, Category.VMCS_TRANSFORM),
+                         (4890, Category.L0_HANDLER),
+                         (1400, Category.SWITCH_L0_L1),
+                         (1960, Category.L1_HANDLER)):
+        sim.advance(ns)
+        observer.charge(category, ns)
+    with observer.span("l2_exit:CPUID", level=0, reason="CPUID"):
+        sim.advance(100)
+    sim.advance(25)
+    observer.charge(Category.IO_WIRE, 25)
+    return observer
+
+
+def test_chrome_trace_requires_tracing():
+    with pytest.raises(ValueError):
+        chrome_trace(Observer(tracing=False))
+
+
+def test_chrome_trace_names_process_and_threads(traced_observer):
+    doc = chrome_trace(traced_observer, process_name="unit")
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert "unit" in names
+    assert {"L0 host hypervisor", "L1 guest hypervisor",
+            "L2 nested guest"} <= names
+    assert all(e["pid"] == TRACE_PID for e in meta)
+
+
+def test_chrome_trace_events_use_microseconds(traced_observer):
+    doc = chrome_trace(traced_observer)
+    guest = next(e for e in doc["traceEvents"]
+                 if e.get("name") == Category.GUEST_WORK)
+    assert guest["ph"] == "X"
+    assert guest["ts"] == 0.0
+    assert guest["dur"] == 0.05         # 50 ns
+    assert guest["tid"] == 2            # L2 thread
+
+
+def test_levelless_spans_land_on_the_machine_thread(traced_observer):
+    doc = chrome_trace(traced_observer)
+    wire = next(e for e in doc["traceEvents"]
+                if e.get("name") == Category.IO_WIRE)
+    assert wire["tid"] == MACHINE_TID
+
+
+def test_span_args_exported_sorted(traced_observer):
+    doc = chrome_trace(traced_observer)
+    exit_event = next(e for e in doc["traceEvents"]
+                      if e.get("name") == "l2_exit:CPUID")
+    assert exit_event["args"] == {"reason": "CPUID"}
+
+
+def test_write_chrome_trace_round_trips(tmp_path, traced_observer):
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(path, traced_observer)
+    assert json.loads(path.read_text()) == doc
+
+
+def test_charge_totals_match_between_spans_and_events(traced_observer):
+    doc = chrome_trace(traced_observer)
+    from_spans = charge_totals(traced_observer.spans.finished())
+    from_events = charge_totals_from_events(doc["traceEvents"])
+    assert set(from_spans) == set(from_events)
+    for category, ns in from_spans.items():
+        assert from_events[category] == pytest.approx(ns)
+
+
+def test_trace_breakdown_sources_agree(tmp_path, traced_observer):
+    """Observer, trace document and trace file yield the same rows."""
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(path, traced_observer)
+    from_observer = trace_breakdown(traced_observer)
+    from_doc = trace_breakdown(doc)
+    from_file = trace_breakdown(path)
+    for other in (from_doc, from_file):
+        assert [label for label, _, _ in other] \
+            == [label for label, _, _ in from_observer]
+        for (_, us_a, pct_a), (_, us_b, pct_b) \
+                in zip(from_observer, other):
+            assert us_b == pytest.approx(us_a)
+            assert pct_b == pytest.approx(pct_a)
+
+
+def test_trace_breakdown_divides_by_operations(traced_observer):
+    whole = trace_breakdown(traced_observer, operations=1)
+    per_op = trace_breakdown(traced_observer, operations=10)
+    for (_, us_whole, pct_whole), (_, us_op, pct_op) \
+            in zip(whole, per_op):
+        assert us_op == pytest.approx(us_whole / 10)
+        assert pct_op == pytest.approx(pct_whole)   # shares unchanged
+
+
+def test_render_breakdown_appends_total_row(traced_observer):
+    text = render_breakdown(trace_breakdown(traced_observer))
+    assert "Total" in text
+    assert "10.40" in text     # the fixture charges the paper's parts
+
+
+def test_metrics_document_carries_schema_and_sorted_meta():
+    doc = metrics_document(
+        [{"counters": {"x": 1}, "histograms": {}}],
+        meta={"b": 2, "a": 1},
+    )
+    assert doc["schema"] == METRICS_SCHEMA
+    assert doc["counters"] == {"x": 1}
+    assert list(doc["meta"]) == ["a", "b"]
+
+
+def test_write_metrics_round_trips(tmp_path):
+    path = tmp_path / "metrics.json"
+    doc = write_metrics(path, [{"counters": {"x": 3},
+                                "histograms": {}}])
+    assert json.loads(path.read_text()) == doc

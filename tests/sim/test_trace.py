@@ -78,6 +78,127 @@ def test_snapshot_is_independent_copy():
     assert snap[Category.IDLE] == 10
 
 
+class FakeClock:
+    """Manually-advanced integer clock standing in for a Simulator."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, ns):
+        self.now += ns
+
+
+def test_span_charges_elapsed_time():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span(Category.L0_HANDLER):
+        clock.advance(100)
+    assert tracer.totals[Category.L0_HANDLER] == 100
+
+
+def test_span_requires_a_clock():
+    with pytest.raises(ValueError):
+        with Tracer().span(Category.L0_HANDLER):
+            pass
+
+
+def test_nested_span_parent_charged_self_time_only():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span(Category.L0_HANDLER):
+        clock.advance(30)
+        with tracer.span(Category.L1_HANDLER):
+            clock.advance(50)
+        clock.advance(20)
+    assert tracer.totals[Category.L1_HANDLER] == 50
+    assert tracer.totals[Category.L0_HANDLER] == 50   # 30 + 20, not 100
+    assert tracer.total() == clock.now
+
+
+def test_recursive_same_category_span_does_not_double_count():
+    """The drift regression: an L1 handler span nested inside an L0 span
+    that re-enters L0 (aux trap) must not have the inner L0 window
+    subtracted from *both* ancestors.  Every simulated nanosecond lands
+    in exactly one category, so the totals sum to the wall elapsed."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span(Category.L0_HANDLER):        # outer L0
+        clock.advance(10)
+        with tracer.span(Category.L1_HANDLER):    # L1-in-L0
+            clock.advance(20)
+            with tracer.span(Category.L0_HANDLER):  # aux trap: L0 again
+                clock.advance(40)
+            clock.advance(5)
+        clock.advance(15)
+    assert tracer.totals[Category.L1_HANDLER] == 25       # 20 + 5
+    assert tracer.totals[Category.L0_HANDLER] == 65       # 40 + 10 + 15
+    # The invariant the historical bug broke: totals cover the wall.
+    assert tracer.total() == clock.now == 90
+
+
+def test_deeply_recursive_spans_partition_exactly():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+
+    def recurse(depth):
+        with tracer.span(Category.L0_HANDLER, depth=depth):
+            clock.advance(7)
+            if depth:
+                recurse(depth - 1)
+                clock.advance(3)
+
+    recurse(6)
+    assert tracer.total() == clock.now
+    assert tracer.totals[Category.L0_HANDLER] == clock.now
+
+
+def test_span_records_zero_self_time_for_instant_frames():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span(Category.L0_HANDLER):
+        with tracer.span(Category.L1_HANDLER):
+            clock.advance(12)
+    assert tracer.totals[Category.L0_HANDLER] == 0
+    assert tracer.counts[Category.L0_HANDLER] == 1
+
+
+def test_reset_clears_open_span_stack():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    frame = tracer.span(Category.L0_HANDLER)
+    frame.__enter__()
+    clock.advance(9)
+    tracer.reset()
+    assert tracer._span_stack == []
+    # Closing the abandoned frame is a clean no-op: the window was
+    # discarded with the reset, not charged to the fresh totals.
+    frame.__exit__(None, None, None)
+    assert tracer.total() == 0
+    # A fresh span works normally after the reset.
+    with tracer.span(Category.L1_HANDLER):
+        clock.advance(4)
+    assert tracer.totals[Category.L1_HANDLER] == 4
+
+
+def test_record_forwards_charges_to_an_observer():
+    class Sink:
+        def __init__(self):
+            self.charges = []
+
+        def charge(self, category, ns, meta=None):
+            self.charges.append((category, ns, meta))
+
+    tracer = Tracer()
+    tracer.observer = Sink()
+    tracer.record(Category.CHANNEL, 30, direction="tx")
+    assert tracer.observer.charges == [
+        (Category.CHANNEL, 30, {"direction": "tx"})
+    ]
+
+
 def test_table1_parts_cover_the_paper_rows():
     assert Category.TABLE1_PARTS == (
         Category.GUEST_WORK,
