@@ -187,6 +187,68 @@ def _cmd_run(argv):
     return 0
 
 
+def _cmd_chaos(argv):
+    """``repro chaos``: the fault-injection resilience matrix.
+
+    A thin front-end over the registered ``chaos`` experiment with the
+    chaos-specific flag namespace (``--rates``) and an artifact path:
+    ``--out`` writes the canonical-JSON result document (the CI
+    chaos-smoke job uploads it).  Output is byte-identical at any
+    ``--jobs`` — every fault decision derives from ``--seed`` through
+    per-site rng streams, never from scheduling.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Sweep fault rates across execution modes and "
+                    "report the resilience matrix "
+                    "(injected/recovered/degraded/deadlocked)",
+    )
+    parser.add_argument("--seed", type=int, default=2019,
+                        help="fault-plan seed (default 2019)")
+    parser.add_argument("--rates", default=None,
+                        help="comma-separated per-event fault rates "
+                             "(default '0.0,0.02,0.1,0.3')")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="nested cpuid iterations per cell "
+                             "(default 30)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1; output is "
+                             "byte-identical at any N)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast parameters (CI chaos-smoke job)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result document on stdout")
+    parser.add_argument("--out", type=Path, default=None, metavar="PATH",
+                        help="write the canonical-JSON resilience "
+                             "matrix to PATH")
+    args = parser.parse_args(argv)
+
+    registry.ensure_loaded()
+    overrides = {"seed": args.seed, "rates": args.rates,
+                 "iterations": args.iterations}
+    report = runner.run_experiments(["chaos"], overrides=overrides,
+                                    jobs=args.jobs, cache=None,
+                                    smoke=args.smoke)
+    run = report.runs[0]
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(run.result.to_json())
+        print(f"resilience matrix -> {args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(report.to_json())
+        return 0
+
+    from repro.analysis.report import render_result
+
+    print(render_result(run.result))
+    unresolved = run.result.scalars_dict.get("unresolved_total", 0)
+    if unresolved:
+        print(f"chaos: {unresolved} injected fault(s) neither recovered "
+              "nor accounted as degraded/deadlocked", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["lint"]:
@@ -200,6 +262,10 @@ def main(argv=None):
         # Same pre-parse dispatch: 'run' drives one machine directly
         # and has its own flags (--mode, --trace, ...).
         return _cmd_run(argv[1:])
+    if argv[:1] == ["chaos"]:
+        # Same pattern: chaos adds --rates/--out on top of the
+        # registered experiment.
+        return _cmd_chaos(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()

@@ -8,13 +8,33 @@ L1 answers with ``CMD_VM_RESUME`` on the response ring.  Because neither
 side has SVt's cross-thread register access, *"SW SVt sends the necessary
 information together with the commands"* — general-purpose register
 values and the VM trap identifier ride in the payload.
+
+Robustness (see ``docs/robustness.md``):
+
+* **Timestamps** ride the *simulated* clock: rings stamp
+  ``Command.enqueued_at`` from an attached ``clock`` when the caller
+  does not pass ``now``, so ring-latency metrics and fault delays are
+  measured against sim time, never against a hard-coded 0.
+* **Backpressure**: :meth:`CommandRing.try_push` is the caller-visible
+  non-raising push; a full ring returns ``False`` (counted in
+  ``overflows``) so the watchdog layer can back off and retry instead
+  of dying on :class:`~repro.errors.ChannelError`.
+* **Fault injection**: a ring built with a
+  :class:`~repro.faults.injector.FaultInjector` may drop, duplicate,
+  delay (head-of-line, ``visible_at``) or corrupt a pushed command, or
+  lose the consumer's wakeup.  Commands are *sealed* with a payload
+  checksum at push time so receivers detect corruption, and carry an
+  exchange id (``xid``) so retransmissions and duplicates deduplicate.
 """
 
 import itertools
+import json
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ChannelError
+from repro.faults.plan import FaultKind
 
 
 class CommandKind:
@@ -25,6 +45,12 @@ class CommandKind:
     ALL = (VM_TRAP, VM_RESUME, BLOCKED)
 
 
+def _payload_checksum(payload):
+    """Deterministic payload digest (order-independent encoding)."""
+    encoded = json.dumps(payload, sort_keys=True, default=repr)
+    return zlib.crc32(encoded.encode("utf-8"))
+
+
 @dataclass
 class Command:
     """One ring entry: a command plus its register/exit-info payload."""
@@ -33,45 +59,138 @@ class Command:
     payload: dict = field(default_factory=dict)
     seq: int = 0
     enqueued_at: int = 0
+    #: Exchange id: retransmissions of one logical command share it, so
+    #: receivers can discard duplicates.  -1 = unassigned.
+    xid: int = -1
+    #: Payload checksum taken at push time (0 = unsealed).
+    checksum: int = 0
+    #: Sim time before which the command is invisible (delay faults).
+    visible_at: int = 0
 
     def __post_init__(self):
         if self.kind not in CommandKind.ALL:
             raise ChannelError(f"unknown command kind {self.kind!r}")
 
+    def seal(self):
+        """Stamp the payload checksum (the producer's end-to-end seal)."""
+        self.checksum = _payload_checksum(self.payload)
+        return self.checksum
+
+    def verify(self):
+        """True when the payload still matches its seal."""
+        return self.checksum == _payload_checksum(self.payload)
+
 
 class CommandRing:
-    """A bounded unidirectional command ring in shared memory."""
+    """A bounded unidirectional command ring in shared memory.
 
-    def __init__(self, name, capacity=64, placement="smt"):
+    ``clock`` is a zero-argument callable returning simulated ns; when
+    attached, pushes without an explicit ``now`` stamp the real sim
+    time and delayed entries become visible as the clock advances.
+    ``faults`` is an optional :class:`repro.faults.injector.FaultInjector`.
+    """
+
+    def __init__(self, name, capacity=64, placement="smt", clock=None,
+                 faults=None):
         if capacity < 1:
             raise ChannelError("ring capacity must be >= 1")
         self.name = name
         self.capacity = capacity
         self.placement = placement
+        self.clock = clock
+        self.faults = faults
         self._entries = deque()
         self._seq = itertools.count()
+        self._wakeup_lost = False
         self.pushed = 0
         self.popped = 0
         self.max_occupancy = 0
+        # -- fault/backpressure counters ----------------------------------
+        self.overflows = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.corrupted = 0
+        self.wakeups_lost = 0
+        self.dups_discarded = 0
+        self.corrupt_discarded = 0
 
-    def push(self, command, now=0):
+    def _now(self, now):
+        if now is not None:
+            return now
+        return self.clock() if self.clock is not None else 0
+
+    def try_push(self, command, now=None):
+        """Non-raising push: ``False`` when the ring is full.
+
+        The backpressure path of SW SVt under load — callers (the
+        switch engine's watchdog) back off on ``False`` and retry
+        instead of crashing on :class:`~repro.errors.ChannelError`.
+        """
         if len(self._entries) >= self.capacity:
-            raise ChannelError(f"ring {self.name} full")
+            self.overflows += 1
+            return False
+        now = self._now(now)
         command.seq = next(self._seq)
         command.enqueued_at = now
+        command.seal()
+        kind = (self.faults.ring_fault(self.name)
+                if self.faults is not None else None)
+        if kind == FaultKind.RING_DROP:
+            # Lost on the wire: the producer believes it pushed.
+            self.dropped += 1
+            return True
+        if kind == FaultKind.RING_CORRUPT:
+            # Damage after sealing, so the receiver's verify() fails.
+            self.faults.corrupt_payload(command.payload, self.name)
+            self.corrupted += 1
+        elif kind == FaultKind.RING_DELAY:
+            command.visible_at = now + self.faults.delay_ns()
+            self.delayed += 1
+        elif kind == FaultKind.LOST_WAKEUP:
+            self._wakeup_lost = True
+            self.wakeups_lost += 1
         self._entries.append(command)
         self.pushed += 1
         self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        if kind == FaultKind.RING_DUPLICATE:
+            # The slot is replayed: same command, same seq/xid twice.
+            self._entries.append(command)
+            self.pushed += 1
+            self.duplicated += 1
+            self.max_occupancy = max(self.max_occupancy,
+                                     len(self._entries))
+        return True
+
+    def push(self, command, now=None):
+        """Raising push (legacy protocol path); see :meth:`try_push`."""
+        if not self.try_push(command, now=now):
+            raise ChannelError(f"ring {self.name} full")
         return command.seq
 
     def pop(self):
+        if self._wakeup_lost:
+            # The entry is in shared memory but the waiter's mwait wake
+            # was lost: from the consumer's view, nothing arrived.  The
+            # watchdog's next look (after backoff) finds it.
+            self._wakeup_lost = False
+            raise ChannelError(f"ring {self.name} wakeup lost")
         if not self._entries:
             raise ChannelError(f"ring {self.name} empty")
+        head = self._entries[0]
+        if head.visible_at > self._now(None):
+            raise ChannelError(
+                f"ring {self.name} empty "
+                f"(head delayed until t={head.visible_at})"
+            )
         self.popped += 1
         return self._entries.popleft()
 
     def peek(self):
-        return self._entries[0] if self._entries else None
+        if (self._entries
+                and self._entries[0].visible_at <= self._now(None)):
+            return self._entries[0]
+        return None
 
     @property
     def occupancy(self):
@@ -79,7 +198,7 @@ class CommandRing:
 
     @property
     def is_empty(self):
-        return not self._entries
+        return self.peek() is None
 
     def check_invariants(self):
         if self.popped > self.pushed:
@@ -96,46 +215,161 @@ class PairedChannels:
     sent (the hypervisor thread blocks on the response — paper Figure 5).
     ``CMD_SVT_BLOCKED`` responses (§5.3) do *not* complete the exchange;
     they let L0 service interrupts and go back to waiting.
+
+    Retransmissions (:meth:`resend_trap` / :meth:`resend_resume`) reuse
+    the in-flight exchange id, and :meth:`take_request` /
+    :meth:`take_response` silently discard entries whose ``xid`` was
+    already consumed — the dedup that makes watchdog retries and
+    duplicate faults idempotent.
     """
 
-    def __init__(self, vcpu_name, capacity=64, placement="smt", obs=None):
+    def __init__(self, vcpu_name, capacity=64, placement="smt", obs=None,
+                 clock=None, faults=None):
         self.request = CommandRing(
-            f"{vcpu_name}.req", capacity=capacity, placement=placement
+            f"{vcpu_name}.req", capacity=capacity, placement=placement,
+            clock=clock, faults=faults,
         )
         self.response = CommandRing(
-            f"{vcpu_name}.rsp", capacity=capacity, placement=placement
+            f"{vcpu_name}.rsp", capacity=capacity, placement=placement,
+            clock=clock, faults=faults,
         )
         self.in_flight = 0
         self.round_trips = 0
+        self.retransmissions = 0
         self.obs = obs
+        self.clock = clock
+        self._xids = itertools.count()
+        self._trap_xid = -1
+        self._resume_xid = -1
+        self._last_request_xid = -1
+        self._last_response_xid = -1
 
     def _count(self, kind):
         if self.obs is not None:
             self.obs.count("channel_commands_total", kind=kind)
 
-    def send_trap(self, payload, now=0):
+    def _observe_latency(self, ring, command):
+        if self.obs is not None and self.clock is not None:
+            self.obs.observe(
+                "ring_latency_ns",
+                max(0, self.clock() - command.enqueued_at),
+                ring=ring.name,
+            )
+
+    # -- producer side ----------------------------------------------------
+
+    def send_trap(self, payload, now=None):
         if self.in_flight:
             raise ChannelError("previous VM trap not yet resumed")
-        self.in_flight += 1
-        self._count(CommandKind.VM_TRAP)
-        return self.request.push(Command(CommandKind.VM_TRAP, payload), now)
+        if not self.try_send_trap(payload, now=now):
+            raise ChannelError(f"ring {self.request.name} full")
+        return self._trap_xid
 
-    def send_resume(self, payload, now=0):
+    def try_send_trap(self, payload, now=None):
+        """Backpressure-aware trap send: ``False`` when the ring is
+        full (no state is consumed; retry after backing off)."""
+        if self.in_flight:
+            raise ChannelError("previous VM trap not yet resumed")
+        # Shallow-copy so a corruption fault damages only the in-ring
+        # copy, never the producer's own payload (needed for resends).
+        command = Command(CommandKind.VM_TRAP, dict(payload))
+        command.xid = next(self._xids)
+        try:
+            self.request.push(command, now=now)
+        except ChannelError:
+            return False
+        self.in_flight += 1
+        self._trap_xid = command.xid
+        self._count(CommandKind.VM_TRAP)
+        return True
+
+    def resend_trap(self, payload, now=None):
+        """Retransmit the in-flight trap (same exchange id)."""
+        if not self.in_flight:
+            raise ChannelError("no in-flight trap to retransmit")
+        command = Command(CommandKind.VM_TRAP, dict(payload))
+        command.xid = self._trap_xid
+        pushed = self.request.try_push(command, now=now)
+        if pushed:
+            self.retransmissions += 1
+            self._count(CommandKind.VM_TRAP)
+        return pushed
+
+    def send_resume(self, payload, now=None):
+        if not self.try_send_resume(payload, now=now):
+            raise ChannelError(f"ring {self.response.name} full")
+        return self._resume_xid
+
+    def try_send_resume(self, payload, now=None):
+        """Backpressure-aware resume send (see :meth:`try_send_trap`)."""
         if not self.in_flight:
             raise ChannelError("VM resume without an outstanding trap")
+        command = Command(CommandKind.VM_RESUME, dict(payload))
+        command.xid = next(self._xids)
+        try:
+            self.response.push(command, now=now)
+        except ChannelError:
+            return False
+        self._resume_xid = command.xid
         self._count(CommandKind.VM_RESUME)
-        return self.response.push(
-            Command(CommandKind.VM_RESUME, payload), now
-        )
+        return True
+
+    def resend_resume(self, payload, now=None):
+        """Retransmit the in-flight resume (same exchange id)."""
+        if not self.in_flight:
+            raise ChannelError("no outstanding trap to re-answer")
+        if self._resume_xid < 0:
+            raise ChannelError("no resume sent yet to retransmit")
+        command = Command(CommandKind.VM_RESUME, dict(payload))
+        command.xid = self._resume_xid
+        pushed = self.response.try_push(command, now=now)
+        if pushed:
+            self.retransmissions += 1
+            self._count(CommandKind.VM_RESUME)
+        return pushed
+
+    # -- consumer side ----------------------------------------------------
 
     def take_request(self):
-        return self.request.pop()
+        # svtlint: disable=SVT005 — bounded: every iteration pops one
+        # entry off a finite ring; an empty ring raises ChannelError.
+        while True:
+            command = self.request.pop()
+            if not command.verify():
+                # Damaged in the ring: discard *before* committing its
+                # xid, so a retransmission with the same xid is
+                # accepted.  The caller sees "nothing arrived".
+                self.request.corrupt_discarded += 1
+                continue
+            if 0 <= command.xid <= self._last_request_xid:
+                # Duplicate slot or stale retransmission twin.
+                self.request.dups_discarded += 1
+                continue
+            self._last_request_xid = max(self._last_request_xid,
+                                         command.xid)
+            self._observe_latency(self.request, command)
+            return command
 
     def take_response(self):
-        command = self.response.pop()
+        # svtlint: disable=SVT005 — bounded: every iteration pops one
+        # entry off a finite ring; an empty ring raises ChannelError.
+        while True:
+            command = self.response.pop()
+            if not command.verify():
+                self.response.corrupt_discarded += 1
+                continue
+            if (command.kind == CommandKind.VM_RESUME
+                    and 0 <= command.xid <= self._last_response_xid):
+                self.response.dups_discarded += 1
+                continue
+            break
+        self._observe_latency(self.response, command)
         if command.kind == CommandKind.VM_RESUME:
+            self._last_response_xid = max(self._last_response_xid,
+                                          command.xid)
             self.in_flight -= 1
             self.round_trips += 1
+            self._resume_xid = -1
         else:
             # BLOCKED notifications (§5.3) are pushed onto the response
             # ring directly; count them when they surface.

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.channel import CommandKind, PairedChannels
 from repro.cpu.costs import CostModel
-from repro.errors import ChannelError
+from repro.errors import ChannelError, DeadlockError
 from repro.sim.engine import Simulator
 
 #: Hypercall number L1 uses to pair an L2 vCPU thread with its SVt-thread.
@@ -80,6 +80,9 @@ class DeadlockResult:
     finished_at_ns: int
     blocked_traps_injected: int
     timeline: list = field(default_factory=list)
+    #: Structured :class:`repro.sim.engine.DeadlockReport` naming the
+    #: blocked waiters and their wait-for edges (None when completed).
+    report: object = None
 
 
 class DeadlockScenario:
@@ -118,12 +121,20 @@ class DeadlockScenario:
     # -- scenario steps -------------------------------------------------------
 
     def run(self):
-        """Run the interleaving to quiescence and report the outcome."""
+        """Run the interleaving to quiescence and report the outcome.
+
+        Never raises: when the interleaving deadlocks, the simulator's
+        drained-queue detector fires a :class:`~repro.errors.DeadlockError`
+        whose structured report (blocked waiters + wait-for edges) is
+        captured onto the returned :class:`DeadlockResult`.
+        """
         # Step 2: L0_0 sends CMD_VM_TRAP and starts waiting.
         self.channels.send_trap({"exit_reason": "EPT_MISCONFIG"},
                                 now=self.sim.now)
         self.channels.take_request()
         self._log("L0_0 sent CMD_VM_TRAP, waiting for CMD_VM_RESUME")
+        self.sim.park("L0_0", waits_on=self.channels.response.name,
+                      blocked_on="L1_1.svt")
         self._completion_handle = self.sim.after(
             self.HANDLING_NS, self._svt_thread_finishes
         )
@@ -131,12 +142,17 @@ class DeadlockScenario:
         self.sim.after(self.PREEMPT_AT_NS, self._preempt)
         if self.with_fix:
             self.sim.after(self.CHECK_PERIOD_NS, self._l0_wait_check)
-        self.sim.run_until_idle()
+        report = None
+        try:
+            self.sim.run_until_idle()
+        except DeadlockError as err:
+            report = err.report
         return DeadlockResult(
             completed=self._completed,
             finished_at_ns=self.sim.now,
             blocked_traps_injected=self._blocked_injected,
             timeline=list(self.timeline),
+            report=report,
         )
 
     def _preempt(self):
@@ -147,10 +163,18 @@ class DeadlockScenario:
         if self._completion_handle is not None:
             self._completion_handle.cancel()
         self._log("kernel thread preempts SVt-thread in L1_1")
+        self.sim.park("L1_1.svt", waits_on="cpu (preempted)",
+                      blocked_on="L1_1.kernel")
         # Step 4: it IPIs the L1_0 vCPU and waits for the ack.
         self._ipi_pending_for_l10 = True
         self._kernel_thread_waiting = True
         self._log("kernel thread sends IPI to L1_0 and waits")
+        self.sim.park("L1_1.kernel", waits_on="IPI ack from L1_0",
+                      blocked_on="L1_0")
+        # L1_0 itself can only run when L0_0 schedules it — the edge
+        # that closes §5.3's cycle back to the blocked hypervisor.
+        self.sim.park("L1_0", waits_on="being scheduled",
+                      blocked_on="L0_0")
         # Without the fix nothing else is scheduled: L0_0 never runs
         # L1_0, the ack never comes — the event queue drains: deadlock.
 
@@ -171,13 +195,16 @@ class DeadlockScenario:
 
     def _l10_acks_ipi(self):
         self._log("L1_0 handled the IPI and yielded back to L0_0")
+        self.sim.unpark("L1_0")
         if self._kernel_thread_waiting:
             self._kernel_thread_waiting = False
+            self.sim.unpark("L1_1.kernel")
             # The kernel thread proceeds and reschedules the SVt-thread.
             self.sim.after(100, self._svt_thread_resumes)
 
     def _svt_thread_resumes(self):
         self._svt_preempted = False
+        self.sim.unpark("L1_1.svt")
         self._log("SVt-thread rescheduled, resumes trap handling")
         self._completion_handle = self.sim.after(
             self._svt_remaining, self._svt_thread_finishes
@@ -193,4 +220,5 @@ class DeadlockScenario:
             return
         assert response.kind == CommandKind.VM_RESUME
         self._completed = True
+        self.sim.unpark("L0_0")
         self._log("SVt-thread sent CMD_VM_RESUME; L0_0 resumes L2")

@@ -16,7 +16,8 @@ replaces every crossing with thread stall/resume (5.36 µs, 1.94×).
 from repro.cpu.registers import RegNames
 from repro.core.cross_context import ctxt_write
 from repro.core.mode import ExecutionMode
-from repro.errors import ConfigError
+from repro.errors import ChannelError, ConfigError, DeadlockError
+from repro.faults.watchdog import DegradeEvent
 from repro.sim.trace import Category
 
 
@@ -149,6 +150,17 @@ class SwSvtEngine(SwitchEngine):
     command-ring traffic to the SVt-thread on the sibling SMT hardware
     thread, and L1's lazy save/restore disappears (its state stays live
     on that thread).  Register values ride in the command payloads.
+
+    Robustness (``docs/robustness.md``): every blocking ring wait runs
+    under an optional sim-clock :class:`~repro.faults.watchdog.Watchdog`.
+    A miss charges a bounded-exponential backoff
+    (:data:`~repro.sim.trace.Category.WATCHDOG`) and retransmits; after
+    ``max_strikes`` the engine **degrades** — it records a
+    :class:`~repro.faults.watchdog.DegradeEvent` and permanently falls
+    back to the BASELINE memory-switch path for this vCPU (correct,
+    just slower).  Without a watchdog a wait that never completes parks
+    a waiter in the simulator and raises
+    :class:`~repro.errors.DeadlockError` with a structured report.
     """
 
     mode = ExecutionMode.SW_SVT
@@ -161,12 +173,98 @@ class SwSvtEngine(SwitchEngine):
     PROPAGATED_AUX = frozenset({"INVEPT", "CR_ACCESS"})
 
     def __init__(self, sim, tracer, costs, channels,
-                 placement="smt", mechanism="mwait", obs=None):
+                 placement="smt", mechanism="mwait", obs=None,
+                 faults=None, watchdog=None):
         super().__init__(sim, tracer, costs, obs=obs)
         self.channels = channels
         self.placement = placement
         self.mechanism = mechanism
+        self.faults = faults
+        self.watchdog = watchdog
+        #: True once the engine gave up on SW SVt for this vCPU.
+        self.degraded = False
+        #: Every SW-SVt -> BASELINE downgrade, in order.
+        self.degrade_events = []
         self._pending_writes = None
+
+    # -- watchdog-guarded ring exchanges ----------------------------------
+
+    def _deadlock(self, site, ring_name, detail):
+        """No watchdog, nothing arrived: park the waiter and raise the
+        structured report (the §5.3 failure mode, generalized)."""
+        self.sim.park(f"svt:{site}", waits_on=ring_name,
+                      blocked_on="svt-thread")
+        if self.faults is not None:
+            self.faults.note_deadlocked()
+        raise DeadlockError(
+            f"SW SVt blocked at {site}: {detail}",
+            report=self.sim.deadlock_report(detail=detail),
+        )
+
+    def _degrade(self, site, strikes, reason):
+        """Give up on the reflection path: record and fall back."""
+        self.degraded = True
+        event = DegradeEvent(at_ns=self.sim.now, site=site,
+                             strikes=strikes, reason=reason)
+        self.degrade_events.append(event)
+        if self.faults is not None:
+            self.faults.note_degraded()
+        if self.obs is not None:
+            self.obs.count("svt_degrade_events_total", site=site)
+        self._pending_writes = None
+
+    def _send_guarded(self, site, ring, send):
+        """Push with backpressure: a full ring strikes the watchdog and
+        retries after backoff (the consumer drains meanwhile).  Returns
+        False when the exchange degraded instead."""
+        while not send():
+            if self.watchdog is None:
+                self._deadlock(site, ring.name,
+                               f"ring {ring.name} full and no consumer "
+                               "progress (no watchdog)")
+            if self.watchdog.exhausted:
+                strikes = self.watchdog.give_up()
+                if self.faults is not None:
+                    self.faults.resolve_ring(ring.name, "degraded")
+                self._degrade(site, strikes,
+                              f"ring {ring.name} stayed full")
+                return False
+            self._charge(self.watchdog.strike(), Category.WATCHDOG)
+        return True
+
+    def _await_guarded(self, site, ring, take, resend):
+        """Blocking take with watchdog recovery.
+
+        Misses (empty ring, lost wakeup, delayed head, corrupt-entry
+        discard) strike the watchdog: charge the backoff on the sim
+        clock, retransmit (same exchange id — receivers dedup), retry.
+        Returns the command, or ``None`` after degradation.
+        """
+        while True:
+            try:
+                command = take()
+            except ChannelError:
+                command = None
+            if command is not None:
+                if self.watchdog is not None and self.watchdog.succeed():
+                    pass  # recovery counted by the watchdog itself
+                if self.faults is not None:
+                    self.faults.resolve_ring(ring.name, "recovered")
+                return command
+            if self.watchdog is None:
+                self._deadlock(site, ring.name,
+                               f"nothing arrived on {ring.name} "
+                               "(no watchdog)")
+            if self.watchdog.exhausted:
+                strikes = self.watchdog.give_up()
+                if self.faults is not None:
+                    self.faults.resolve_ring(ring.name, "degraded")
+                self._degrade(site, strikes,
+                              f"no command on {ring.name} after "
+                              f"{strikes} retries")
+                return None
+            self._charge(self.watchdog.strike(), Category.WATCHDOG)
+            resend()
 
     def _hop(self):
         self._charge(
@@ -185,29 +283,85 @@ class SwSvtEngine(SwitchEngine):
         self._charge(self.costs.switch_l2_l0_each, Category.SWITCH_L2_L0)
 
     def enter_l1(self, exit_info, vcpu):
+        if self.degraded:
+            # Fallback: the stock memory context switch (BaselineEngine).
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            self._pending_writes = None
+            return
         payload = {
             "exit_reason": exit_info.reason,
             "qualification": dict(exit_info.qualification),
             "regs": {name: vcpu.read(name) for name in RegNames.GPRS},
             "rip": vcpu.read(RegNames.RIP),
         }
-        self.channels.send_trap(payload, now=self.sim.now)
+        if self.watchdog is not None:
+            self.watchdog.start()
+        if not self._send_guarded(
+                "enter_l1", self.channels.request,
+                lambda: self.channels.try_send_trap(payload,
+                                                    now=self.sim.now)):
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            return
         self._hop()
-        self.channels.take_request()
+        request = self._await_guarded(
+            "enter_l1", self.channels.request,
+            self.channels.take_request,
+            lambda: self.channels.resend_trap(payload, now=self.sim.now),
+        )
+        if request is None:
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            return
         self._pending_writes = {}
 
     def leave_l1(self, vcpu):
         writes = self._pending_writes or {}
         self._pending_writes = None
-        self.channels.send_resume({"regs": dict(writes)}, now=self.sim.now)
+        if self.degraded:
+            # Post-degradation (or degraded mid-exit): apply L1's
+            # buffered updates directly and pay the stock switch.
+            for register, value in writes.items():
+                vcpu.write(register, value)
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            return
+        payload = {"regs": dict(writes)}
+        if self.watchdog is not None:
+            self.watchdog.start()
+        if not self._send_guarded(
+                "leave_l1", self.channels.response,
+                lambda: self.channels.try_send_resume(payload,
+                                                      now=self.sim.now)):
+            for register, value in writes.items():
+                vcpu.write(register, value)
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            return
         self._hop()
-        response = self.channels.take_response()
+        response = self._await_guarded(
+            "leave_l1", self.channels.response,
+            self.channels.take_response,
+            lambda: self.channels.resend_resume(payload,
+                                                now=self.sim.now),
+        )
+        if response is None:
+            # The writes never made it through the ring: apply the
+            # producer-side copy directly (nothing is lost).
+            for register, value in writes.items():
+                vcpu.write(register, value)
+            self._charge(self.costs.switch_l0_l1_each,
+                         Category.SWITCH_L0_L1)
+            return
         for register, value in response.payload["regs"].items():
             vcpu.write(register, value)
 
     def charge_l1_lazy(self):
+        if self.degraded:
+            # Fallback path pays the stock lazy save/restore again.
+            super().charge_l1_lazy()
         # L1's handler state never leaves its SMT thread: no lazy cost.
-        pass
 
     def aux_exit_begin(self):
         # The SVt-thread's own trap is captured by L0 on the *sibling*
@@ -234,14 +388,22 @@ class SwSvtEngine(SwitchEngine):
         """The SVt-thread is mwait-parked on the sibling hardware thread:
         waking L1 is just the command's cache-line write.  Waking L2
         still uses the stock scheduler path."""
-        if target_level == 2:
+        if target_level == 2 or self.degraded:
             self._charge(self.costs.idle_wake, Category.INTERRUPT)
 
     def l1_writer(self, l2_vcpu):
         """L1 has no cross-thread register access: its updates are
-        buffered into the CMD_VM_RESUME payload and applied by L0."""
+        buffered into the CMD_VM_RESUME payload and applied by L0.
+        After degradation L1 shares the stock path and writes directly."""
+        if self.degraded:
+            return l2_vcpu.write
+
         def write(register, value):
             if self._pending_writes is None:
+                if self.degraded:
+                    # Degraded mid-exit: fall through to direct writes.
+                    l2_vcpu.write(register, value)
+                    return
                 raise ConfigError("L1 write outside a reflection window")
             self._pending_writes[register] = value
         return write
@@ -330,7 +492,8 @@ class HwSvtEngine(SwitchEngine):
 
 
 def make_engine(mode, sim, tracer, costs, core=None, channels=None,
-                placement="smt", mechanism="mwait", obs=None):
+                placement="smt", mechanism="mwait", obs=None,
+                faults=None, watchdog=None):
     """Factory used by :class:`repro.core.system.Machine`."""
     ExecutionMode.validate(mode)
     if mode == ExecutionMode.BASELINE:
@@ -340,7 +503,7 @@ def make_engine(mode, sim, tracer, costs, core=None, channels=None,
             raise ConfigError("SW SVt needs a PairedChannels instance")
         return SwSvtEngine(sim, tracer, costs, channels,
                            placement=placement, mechanism=mechanism,
-                           obs=obs)
+                           obs=obs, faults=faults, watchdog=watchdog)
     if core is None:
         raise ConfigError("HW SVt needs an SmtCore")
     return HwSvtEngine(sim, tracer, costs, core, obs=obs)

@@ -32,6 +32,9 @@ from repro.cpu.interrupts import InterruptController
 from repro.cpu.isa import Op
 from repro.cpu.smt import SmtCore
 from repro.errors import ConfigError, EptFault, VirtualizationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
 from repro.obs.observer import ambient as obs_ambient
 from repro.sim.engine import Simulator
 from repro.sim.trace import Category, Tracer
@@ -61,7 +64,8 @@ class Machine:
 
     def __init__(self, mode=ExecutionMode.BASELINE, costs=None, config=None,
                  wait_mechanism="mwait", placement="smt", keep_events=False,
-                 engine_factory=None, observer=None):
+                 engine_factory=None, observer=None, faults=None,
+                 watchdog=None):
         """``engine_factory(sim, tracer, costs, core, channels)`` replaces
         the mode's stock switch engine — the hook ablation studies use to
         model hybrid designs (e.g. SVt contexts multiplexed past the SMT
@@ -71,7 +75,17 @@ class Machine:
         tracing and/or metrics; when ``None`` the machine adopts an
         ambient capture observer if one is active (the experiment
         runner's per-cell metrics path) and otherwise runs the exact
-        pre-observability fast path."""
+        pre-observability fast path.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan` or prebuilt
+        :class:`repro.faults.FaultInjector`) arms the chaos layer: SW
+        SVt command rings may drop/duplicate/delay/corrupt commands or
+        lose wakeups per the plan's rates.  ``watchdog`` guards every
+        blocking ring wait: ``None`` installs a default
+        :class:`repro.faults.Watchdog` whenever faults are armed,
+        ``False`` disables recovery (blocked waits raise
+        :class:`~repro.errors.DeadlockError` with a structured report),
+        and a :class:`~repro.faults.Watchdog` instance is used as-is."""
         self.mode = ExecutionMode.validate(mode)
         self.costs = costs or CostModel()
         self.config = config or paper_machine()
@@ -113,10 +127,21 @@ class Machine:
         self.l0.add_guest(self.l1_vm)
         self.l1.add_guest(self.l2_vm)
 
+        # -- chaos layer (docs/robustness.md) ---------------------------
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, obs=observer)
+        self.faults = faults
+        if watchdog is None and faults is not None:
+            watchdog = Watchdog(obs=observer)
+        elif watchdog is False or watchdog is None:
+            watchdog = None
+        self.watchdog = watchdog
+
         self.channels = None
         if mode == ExecutionMode.SW_SVT:
             self.channels = PairedChannels(
-                self.l2_vm.vcpu.name, placement=placement, obs=observer
+                self.l2_vm.vcpu.name, placement=placement, obs=observer,
+                clock=self._read_clock, faults=faults,
             )
         if engine_factory is not None:
             self.engine = engine_factory(
@@ -132,7 +157,7 @@ class Machine:
                 mode, self.sim, self.tracer, self.costs,
                 core=self.core, channels=self.channels,
                 placement=placement, mechanism=wait_mechanism,
-                obs=observer,
+                obs=observer, faults=faults, watchdog=watchdog,
             )
 
         self.stack = NestedStack(
@@ -220,9 +245,10 @@ class Machine:
         """Let simulated time pass (device/wire waits, idle gaps)."""
         self._charge(ns, category)
 
-    def run_until_idle(self, limit=None):
-        """Drain scheduled events (device completions, timers)."""
-        return self.sim.run_until_idle(limit)
+    def run_until_idle(self, limit=None, max_events=None):
+        """Drain scheduled events (device completions, timers).
+        ``max_events`` forwards the engine's livelock cycle budget."""
+        return self.sim.run_until_idle(limit, max_events=max_events)
 
     # ------------------------------------------------------------------
     # Deferred I/O servicing
@@ -233,11 +259,20 @@ class Machine:
         next safe point — never inside an in-flight VM exit."""
         self._deferred.append(callback)
 
-    def service_io(self):
+    def service_io(self, budget=100_000):
         """Run queued I/O notifications now.  Chains may enqueue more;
-        everything drains before returning."""
+        everything drains before returning.  ``budget`` bounds the drain
+        against self-perpetuating chains (a deferred callback endlessly
+        re-posting itself would otherwise livelock the machine)."""
+        drained = 0
         while self._deferred:
+            if drained >= budget:
+                raise VirtualizationError(
+                    f"service_io: deferred chain exceeded its budget of "
+                    f"{budget} callbacks (livelocked I/O chain?)"
+                )
             self._deferred.popleft()()
+            drained += 1
 
     @property
     def has_pending_io(self):
@@ -386,6 +421,9 @@ class Machine:
         """Between instructions, a pending interrupt forces an exit to
         L0 (or a custom router consumes it)."""
         target_ctx = 0
+        # svtlint: disable=SVT005 — bounded in practice: each iteration
+        # acks exactly one pending interrupt, and handlers only add new
+        # ones via sim events that cannot fire while this loop spins.
         while self.interrupts.has_pending(target_ctx):
             vector, _raised_at = self.interrupts.ack(target_ctx)
             if self.irq_router is not None and self.irq_router(self, vector):

@@ -18,6 +18,15 @@ asserts against this model:
    large workloads under SMT;
 5. mwait is slightly better than mutex at large sizes and slightly slower
    than polling at small sizes.
+
+Robustness extension (``docs/robustness.md``): :func:`handoff` can model
+a **lost wakeup** — the producer's write lands but the waiter's
+notification is lost.  Polling (and the function call) are immune: the
+waiter re-reads the line every iteration.  A sleeping waiter (mwait's
+monitor arm, mutex's kernel block) only recovers when its watchdog
+timeout fires and it re-checks the flag, so the response latency grows
+by ``recovery_timeout_ns``.  A mutex still inside its active spin
+window reacts like a poller and is likewise immune.
 """
 
 from dataclasses import dataclass
@@ -52,15 +61,22 @@ class HandoffResult:
     producer_ns: float      # time the producer needed for its workload
     response_ns: float      # notification latency after the producer wrote
     burns_remote_cpu: bool  # whether the waiter occupies a full CPU
+    recovered: bool = False  # waiter survived a lost wakeup via timeout
 
     @property
     def total_ns(self):
         return self.producer_ns + self.response_ns
 
 
-def handoff(costs, mechanism, placement, workload_ns):
+def handoff(costs, mechanism, placement, workload_ns, lost_wakeup=False,
+            recovery_timeout_ns=2_000):
     """Model one handoff: the producer computes ``workload_ns`` of work,
     writes a flag/line, and the consumer reacts.
+
+    With ``lost_wakeup`` the notification itself is lost: spinning
+    waiters re-read the line and do not care; sleeping waiters (mwait,
+    blocked mutex) pay ``recovery_timeout_ns`` — their watchdog's
+    re-check period — before they notice the flag.
 
     Returns a :class:`HandoffResult`.  ``costs`` is a
     :class:`~repro.cpu.costs.CostModel`.
@@ -71,20 +87,25 @@ def handoff(costs, mechanism, placement, workload_ns):
         raise ConfigError(f"unknown placement {placement!r}")
     if workload_ns < 0:
         raise ConfigError("workload must be >= 0")
+    if recovery_timeout_ns < 0:
+        raise ConfigError("recovery timeout must be >= 0")
 
     if mechanism == WaitMechanism.FUNCTION_CALL:
         # Same thread: no transfer, no wake; the baseline of §6.1.
+        # Nothing to lose either — control transfer is the "wakeup".
         return HandoffResult(mechanism, placement, workload_ns,
                              float(workload_ns), 0.0, False)
 
     line = costs.cacheline_transfer(placement)
     producer_ns = float(workload_ns)
     burns_remote = False
+    recovered = False
 
     if mechanism == WaitMechanism.POLLING:
         # The waiter spins; reaction is one line transfer + one poll
         # iteration.  Under SMT the spin loop shares the core's execution
         # resources with the producer, inflating its workload time.
+        # A lost wakeup is harmless: the next poll re-reads the flag.
         response = line + costs.poll_iteration
         if placement == Placement.SMT:
             producer_ns = workload_ns / (1.0 - costs.poll_smt_interference)
@@ -94,6 +115,12 @@ def handoff(costs, mechanism, placement, workload_ns):
         # monitor/mwait: the waiter sleeps in C1 without issuing uops, so
         # the producer runs at full speed; waking costs the C1 exit.
         response = line + costs.mwait_wake
+        if lost_wakeup:
+            # The monitored-line trigger was missed (e.g. the armed
+            # monitor was cleared by an interrupt): the waiter sleeps
+            # until its watchdog timeout fires and re-checks.
+            response += recovery_timeout_ns
+            recovered = True
     else:  # MUTEX
         # Futex-style: brief active spin first (cheap reaction when the
         # producer finishes within the spin window), then block in the
@@ -102,6 +129,7 @@ def handoff(costs, mechanism, placement, workload_ns):
         # SMT as we increase the workload size".
         spin_window = costs.mutex_startup // 4
         if workload_ns <= spin_window:
+            # Still spinning: immune to a lost wake, like a poller.
             response = line + costs.poll_iteration
             if placement == Placement.SMT:
                 producer_ns = workload_ns / (
@@ -109,9 +137,14 @@ def handoff(costs, mechanism, placement, workload_ns):
                 )
         else:
             response = line + costs.mutex_wake
+            if lost_wakeup:
+                # The futex wake was lost; only the timed re-acquire
+                # (FUTEX_WAIT timeout) unblocks the waiter.
+                response += recovery_timeout_ns
+                recovered = True
 
     return HandoffResult(mechanism, placement, workload_ns, producer_ns,
-                         response, burns_remote)
+                         response, burns_remote, recovered)
 
 
 def sweep(costs, mechanisms=None, placements=None, workloads=None):

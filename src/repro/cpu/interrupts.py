@@ -41,6 +41,7 @@ class InterruptController:
         self._observers = []
         self.obs = obs
         self.delivered = 0
+        self.spurious = 0
 
     # -- configuration ----------------------------------------------------
 
@@ -73,6 +74,21 @@ class InterruptController:
             self._sim.after(delay, self._deliver, target, vector)
         else:
             self._deliver(target, vector)
+
+    def inject_spurious(self, context_index, vector, delay=0):
+        """A fault-injected interrupt (`repro.faults`): lands on the
+        *named* context at ``now + delay`` regardless of the redirect
+        rule — modeling stray IPIs and misrouted vectors, generalizing
+        the §5.3 interleaving beyond its scripted replay."""
+        self._check_context(context_index)
+        self.spurious += 1
+        if self.obs is not None:
+            self.obs.count("irqs_spurious_total",
+                           vector=f"0x{vector:02x}", ctx=context_index)
+        if delay > 0:
+            self._sim.after(delay, self._deliver, context_index, vector)
+        else:
+            self._deliver(context_index, vector)
 
     def send_ipi(self, context_index, vector):
         """Inter-processor interrupt (never redirected — software chose

@@ -34,7 +34,16 @@ class ChannelError(ReproError):
 
 
 class DeadlockError(ReproError):
-    """The simulation detected that no participant can make progress."""
+    """The simulation detected that no participant can make progress.
+
+    ``report`` (a :class:`repro.sim.engine.DeadlockReport`, when the
+    detector produced one) names each parked waiter, what it waits on,
+    and the wait-for edges — the §5.3 failure shape made loud.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class PrfExhausted(ReproError):

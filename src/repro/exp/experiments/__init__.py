@@ -7,6 +7,7 @@ lazily for every entry point.
 
 from repro.exp.experiments import (  # noqa: F401  (register on import)
     ablations,
+    chaos,
     figures,
     sections,
     tables,

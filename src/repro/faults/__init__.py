@@ -1,0 +1,25 @@
+"""repro.faults — deterministic fault injection + recovery machinery.
+
+The chaos layer of the reproduction: seeded fault plans
+(:class:`~repro.faults.plan.FaultPlan`), the per-site deterministic
+injector (:class:`~repro.faults.injector.FaultInjector`), sim-clock
+watchdogs with bounded backoff and graceful SW-SVt -> BASELINE
+degradation (:class:`~repro.faults.watchdog.Watchdog`), and the
+generalized §5.3 chaos scenarios (`repro.faults.scenario`).
+
+See ``docs/robustness.md`` for the fault taxonomy and recovery
+contracts.
+"""
+
+from repro.faults.injector import FaultInjector, VmcsCorruption
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.watchdog import DegradeEvent, Watchdog
+
+__all__ = [
+    "DegradeEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "VmcsCorruption",
+    "Watchdog",
+]

@@ -13,6 +13,9 @@ invariants behind those promises as machine-checked rules:
   write module globals or close over unpicklable state.
 * **SVT004** :mod:`repro.lint.frozen` — nothing mutates a frozen
   ``Result`` after construction.
+* **SVT005** :mod:`repro.lint.bounded` — ``while`` loops under
+  ``repro.core`` carry a watchdog/cycle-budget identifier (or a
+  *justified* inline suppression; a bare disable is itself a finding).
 
 Run via ``python -m repro lint`` (see :mod:`repro.lint.cli`), ``make
 lint``, or programmatically through :func:`lint_paths`.  Suppress a
@@ -20,6 +23,7 @@ deliberate exception inline with ``# svtlint: disable=SVT001`` (see
 ``docs/static-analysis.md``).
 """
 
+from repro.lint.bounded import BoundedLoopRule
 from repro.lint.cli import DEFAULT_RULES, main
 from repro.lint.determinism import DeterminismRule
 from repro.lint.engine import (
@@ -35,6 +39,7 @@ from repro.lint.provenance import ProvenanceRule
 from repro.lint.source import SourceFile, module_name_for
 
 __all__ = [
+    "BoundedLoopRule",
     "DEFAULT_RULES",
     "DeterminismRule",
     "Finding",

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.exp.result import canonical_json
+from repro.lint.bounded import BoundedLoopRule
 from repro.lint.determinism import DeterminismRule
 from repro.lint.engine import Rule, lint_paths
 from repro.lint.findings import findings_document
@@ -35,6 +36,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     ProvenanceRule,
     PoolSafetyRule,
     FrozenResultRule,
+    BoundedLoopRule,
 )
 
 

@@ -39,10 +39,17 @@ class LintContext:
 
     # -- reporting -------------------------------------------------------
 
-    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+    def report(self, rule: "Rule", node: ast.AST, message: str,
+               force: bool = False) -> None:
+        """Record a finding unless an inline suppression covers it.
+
+        ``force=True`` bypasses the suppression index — for findings
+        *about* a suppression (e.g. SVT005's unjustified-disable check,
+        which must not be silenced by the very comment it questions).
+        """
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
-        if self.source.suppressed(line, rule.rule_id):
+        if not force and self.source.suppressed(line, rule.rule_id):
             return
         self._findings.append(Finding(
             path=str(self.source.path),

@@ -48,6 +48,7 @@ CATEGORY_LEVEL: Dict[str, Optional[int]] = {
     Category.CHANNEL: 0,
     Category.CROSS_CONTEXT: 0,
     Category.INTERRUPT: 0,
+    Category.WATCHDOG: 0,
     Category.IO_DEVICE: 1,
     Category.IO_WIRE: None,
     Category.IDLE: None,

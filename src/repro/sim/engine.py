@@ -12,13 +12,82 @@ Two styles of progress coexist:
 
 Determinism: ties on the timestamp are broken by registration order, and
 no wall-clock or global randomness is consulted anywhere.
+
+**Deadlock/livelock detection.**  Blocking participants announce
+themselves with :meth:`Simulator.park` (and :meth:`Simulator.unpark` on
+wake-up).  When :meth:`run_until_idle` drains the event queue while
+waiters are still parked, nothing left in the simulation can ever wake
+them — the §5.3 failure shape — and the engine raises a structured
+:class:`repro.errors.DeadlockError` carrying a :class:`DeadlockReport`
+that names each waiter, what it waits on, and the wait-for edges.  A
+``max_events`` cycle budget turns livelock (events forever rescheduling
+themselves without progress) into the same loud report.
 """
 
 import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError
 
 
 class SimulationError(RuntimeError):
     """Raised for scheduling misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(frozen=True)
+class Waiter:
+    """One parked participant registered via :meth:`Simulator.park`."""
+
+    name: str           # who is blocked ("L0_0.hypervisor", ...)
+    waits_on: str       # the resource/event it needs ("CMD_VM_RESUME")
+    blocked_on: str = ""  # the party expected to provide it ("" unknown)
+    since_ns: int = 0   # sim time the wait began
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "waits_on": self.waits_on,
+            "blocked_on": self.blocked_on,
+            "since_ns": self.since_ns,
+        }
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Structured account of a detected deadlock or livelock."""
+
+    kind: str                       # "deadlock" | "livelock"
+    at_ns: int                      # sim time of detection
+    waiters: tuple = ()             # tuple[Waiter], sorted by name
+    edges: tuple = ()               # wait-for edges (waiter, blocked_on)
+    events_fired: int = 0           # livelock only: budget consumed
+    detail: str = ""
+    timeline: tuple = field(default_factory=tuple)
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "at_ns": self.at_ns,
+            "waiters": [w.to_dict() for w in self.waiters],
+            "edges": [list(edge) for edge in self.edges],
+            "events_fired": self.events_fired,
+            "detail": self.detail,
+        }
+
+    def render(self):
+        lines = [f"{self.kind} at t={self.at_ns} ns"]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        for waiter in self.waiters:
+            via = (f" (blocked on {waiter.blocked_on})"
+                   if waiter.blocked_on else "")
+            lines.append(
+                f"  waiter {waiter.name}: waits for {waiter.waits_on}"
+                f"{via} since t={waiter.since_ns}"
+            )
+        for src, dst in self.edges:
+            lines.append(f"  wait-for edge: {src} -> {dst}")
+        return "\n".join(lines)
 
 
 class EventHandle:
@@ -61,6 +130,8 @@ class Simulator:
         self._seq = 0
         self._pending = 0
         self._firing = False
+        # Parked waiters (deadlock detection): name -> Waiter.
+        self._waiters = {}
         # Observability hook (repro.obs.Observer); None keeps event
         # firing on the exact pre-observability path.
         self.obs = None
@@ -112,12 +183,20 @@ class Simulator:
         self.now = target
         return target
 
-    def run_until_idle(self, limit=None):
+    def run_until_idle(self, limit=None, max_events=None):
         """Fire all pending events in order; stop at ``limit`` ns if given.
 
         Returns the final simulation time.
+
+        ``max_events`` is a livelock cycle-budget: if more events fire
+        than the budget allows, a :class:`repro.errors.DeadlockError`
+        with a ``kind="livelock"`` report is raised.  Independently, if
+        the queue drains while participants are parked (see
+        :meth:`park`), nothing can ever wake them and a
+        ``kind="deadlock"`` report is raised.
         """
         target = limit if limit is not None else None
+        fired = 0
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
@@ -125,14 +204,65 @@ class Simulator:
                 continue
             if target is not None and head.time > target:
                 break
+            if max_events is not None and fired >= max_events:
+                raise DeadlockError(
+                    f"livelock: cycle budget of {max_events} events "
+                    f"exhausted at t={self.now}",
+                    report=self.deadlock_report("livelock",
+                                                events_fired=fired),
+                )
             heapq.heappop(self._queue)
             self._pending -= 1
             head._owner = None
             self.now = head.time
             self._fire(head)
+            fired += 1
         if target is not None and target > self.now:
             self.now = target
+        if not self._queue and self._waiters:
+            # The queue drained for real (not a limit stop) with parked
+            # waiters: no remaining event can ever wake them.
+            report = self.deadlock_report("deadlock", events_fired=fired)
+            raise DeadlockError(
+                "deadlock: event queue drained with "
+                f"{len(self._waiters)} parked waiter(s): "
+                + ", ".join(sorted(self._waiters)),
+                report=report,
+            )
         return self.now
+
+    # -- deadlock detection ----------------------------------------------
+
+    def park(self, name, waits_on, blocked_on=""):
+        """Register a blocked participant for deadlock detection.
+
+        ``name`` identifies the waiter; ``waits_on`` names the event or
+        resource it needs; ``blocked_on`` (optional) names the party
+        expected to provide it, yielding a wait-for edge in the report.
+        Re-parking the same name replaces the previous registration.
+        """
+        self._waiters[name] = Waiter(name=name, waits_on=waits_on,
+                                     blocked_on=blocked_on,
+                                     since_ns=self.now)
+
+    def unpark(self, name):
+        """Remove a parked waiter (no-op when not parked)."""
+        self._waiters.pop(name, None)
+
+    @property
+    def parked(self):
+        """Sorted names of currently parked waiters."""
+        return sorted(self._waiters)
+
+    def deadlock_report(self, kind="deadlock", events_fired=0, detail=""):
+        """Build a :class:`DeadlockReport` from the current waiter set."""
+        waiters = tuple(self._waiters[name]
+                        for name in sorted(self._waiters))
+        edges = tuple((w.name, w.blocked_on) for w in waiters
+                      if w.blocked_on)
+        return DeadlockReport(kind=kind, at_ns=self.now, waiters=waiters,
+                              edges=edges, events_fired=events_fired,
+                              detail=detail)
 
     def peek_next_time(self):
         """Timestamp of the earliest pending event, or ``None``."""

@@ -28,6 +28,7 @@ class Category:
     IO_WIRE = "io_wire"                  # network fabric / media time
     IO_DEVICE = "io_device"              # device-model processing
     INTERRUPT = "interrupt"              # interrupt delivery/injection
+    WATCHDOG = "watchdog"                # fault-recovery backoff waits
     IDLE = "idle"                        # waiting with no one running
 
     TABLE1_PARTS = (

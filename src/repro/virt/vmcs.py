@@ -198,5 +198,23 @@ class Vmcs:
     def snapshot(self):
         return dict(self._values)
 
+    def diff(self, values):
+        """Field names whose current value differs from a snapshot —
+        how the chaos scrubber detects injected corruption."""
+        names = set(self._values) | set(values)
+        return sorted(
+            name for name in names
+            if self._values.get(name, 0) != values.get(name, 0)
+        )
+
+    def restore(self, values):
+        """Reset the value store to a snapshot (the repair path after
+        detected corruption).  Changed fields are marked dirty so the
+        vmcs12 -> vmcs02 transformation re-syncs them; returns them."""
+        changed = self.diff(values)
+        self._values = dict(values)
+        self._dirty |= set(changed)
+        return changed
+
     def __repr__(self):
         return f"Vmcs({self.name!r}, {len(self._values)} fields set)"

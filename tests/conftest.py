@@ -1,6 +1,7 @@
 """Shared fixtures for the test suite."""
 
 import json
+import signal
 from pathlib import Path
 
 import pytest
@@ -11,6 +12,11 @@ from repro.sim.trace import Tracer
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
+#: Per-test wall-clock ceiling (seconds) for the SIGALRM fallback below.
+#: Generous — the whole suite runs in well under a minute — but finite,
+#: so a hung blocking wait fails loudly instead of wedging CI.
+FALLBACK_TIMEOUT_S = 120
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -18,6 +24,37 @@ def pytest_addoption(parser):
         help="rewrite tests/golden/*.json from the current simulator "
              "output instead of comparing against it",
     )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Per-test timeout fallback when pytest-timeout is unavailable.
+
+    CI installs pytest-timeout and passes ``--timeout``; the offline
+    evaluation image has no network, so this hook arms a plain SIGALRM
+    around each test instead.  It stands down whenever the real plugin
+    is loaded (or off the main thread / non-Unix, where SIGALRM is
+    unavailable).
+    """
+    use_alarm = (
+        not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+    )
+    if use_alarm:
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {FALLBACK_TIMEOUT_S}s fallback "
+                "timeout (deadlocked wait?)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(FALLBACK_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def _assert_matches(got, expected, where, rel_tol):

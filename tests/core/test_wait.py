@@ -100,3 +100,61 @@ def test_invalid_inputs_rejected(cm):
         handoff(cm, WaitMechanism.MWAIT, "moon", 0)
     with pytest.raises(ConfigError):
         handoff(cm, WaitMechanism.MWAIT, Placement.SMT, -1)
+
+
+# -- lost wakeups (docs/robustness.md) ------------------------------------
+
+
+def test_polling_immune_to_lost_wakeup(cm):
+    clean = handoff(cm, WaitMechanism.POLLING, Placement.SMT, 1000)
+    lost = handoff(cm, WaitMechanism.POLLING, Placement.SMT, 1000,
+                   lost_wakeup=True)
+    assert lost == clean
+    assert not lost.recovered
+
+
+def test_function_call_immune_to_lost_wakeup(cm):
+    lost = handoff(cm, WaitMechanism.FUNCTION_CALL, Placement.SMT, 1000,
+                   lost_wakeup=True)
+    assert lost.response_ns == 0
+    assert not lost.recovered
+
+
+def test_mwait_lost_wakeup_pays_recovery_timeout(cm):
+    clean = handoff(cm, WaitMechanism.MWAIT, Placement.SMT, 1000)
+    lost = handoff(cm, WaitMechanism.MWAIT, Placement.SMT, 1000,
+                   lost_wakeup=True, recovery_timeout_ns=3_000)
+    assert lost.recovered
+    assert lost.response_ns == clean.response_ns + 3_000
+
+
+def test_mutex_spin_window_immune_to_lost_wakeup(cm):
+    # Small workload: the waiter is still actively spinning.
+    small = cm.mutex_startup // 4
+    lost = handoff(cm, WaitMechanism.MUTEX, Placement.SMT, small,
+                   lost_wakeup=True)
+    assert not lost.recovered
+    clean = handoff(cm, WaitMechanism.MUTEX, Placement.SMT, small)
+    assert lost.response_ns == clean.response_ns
+
+
+def test_mutex_blocked_lost_wakeup_pays_recovery_timeout(cm):
+    large = cm.mutex_startup * 10
+    clean = handoff(cm, WaitMechanism.MUTEX, Placement.SMT, large)
+    lost = handoff(cm, WaitMechanism.MUTEX, Placement.SMT, large,
+                   lost_wakeup=True, recovery_timeout_ns=2_000)
+    assert lost.recovered
+    assert lost.response_ns == clean.response_ns + 2_000
+
+
+def test_lost_wakeup_applies_across_placements(cm):
+    for placement in Placement.ALL:
+        lost = handoff(cm, WaitMechanism.MWAIT, placement, 500,
+                       lost_wakeup=True)
+        assert lost.recovered, placement
+
+
+def test_negative_recovery_timeout_rejected(cm):
+    with pytest.raises(ConfigError):
+        handoff(cm, WaitMechanism.MWAIT, Placement.SMT, 100,
+                recovery_timeout_ns=-1)

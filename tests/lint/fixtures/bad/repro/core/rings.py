@@ -1,0 +1,12 @@
+"""SVT005 positive cases: unbounded loops in core protocol code."""
+
+
+def drain(ring):
+    while True:
+        ring.pop()
+
+
+def wait_for(flag):
+    # svtlint: disable=SVT005
+    while not flag.is_set():
+        pass

@@ -1,0 +1,23 @@
+"""SVT005 negative cases: loops with explicit bounds or watchdogs."""
+
+
+def drain(ring, budget=64):
+    while ring.pending:
+        if budget <= 0:
+            raise RuntimeError("drain budget exhausted")
+        budget -= 1
+        ring.pop()
+
+
+def guarded_take(watchdog, take):
+    while True:
+        if watchdog.exhausted:
+            return None
+        command = take()
+        if command is not None:
+            return command
+
+
+def timed_wait(clock, deadline):
+    while clock.now < deadline:
+        clock.advance(1)

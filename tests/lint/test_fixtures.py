@@ -15,7 +15,8 @@ def lint_tree(name):
 def test_bad_tree_yields_every_rule():
     by_rule = Counter(finding.rule for finding in lint_tree("bad"))
     assert by_rule == Counter(
-        {"SVT001": 8, "SVT002": 3, "SVT003": 4, "SVT004": 1}
+        {"SVT001": 8, "SVT002": 3, "SVT003": 4, "SVT004": 1,
+         "SVT005": 2}
     )
 
 
