@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke lint clean
+.PHONY: test smoke bench bench-smoke lint clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,9 +9,21 @@ test:
 # Fast end-to-end pass: every registered experiment with smoke
 # parameters, serial vs parallel, writing results/runtime_smoke.json —
 # then the full parallel run against the cache.
-bench-smoke:
+smoke:
 	$(PYTHON) -m repro smoke
 	$(PYTHON) -m repro all --json --jobs 4 > /dev/null
+
+# Wall-clock perf harness (docs/performance.md): times every registered
+# experiment under the segment and legacy kernels at smoke AND full
+# parameters and rewrites the committed BENCH_sim.json baseline.
+bench:
+	$(PYTHON) -m repro bench --repeats 3
+
+# CI's perf gate: smoke parameters only, compared against the committed
+# baseline; exits nonzero on a >25% wall-clock regression.
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --repeats 3 \
+		--baseline BENCH_sim.json --out BENCH_smoke.json --check
 
 # Three gates, strictest first.  svtlint ships with the repo and always
 # runs; ruff and mypy are optional in the offline evaluation image and

@@ -16,7 +16,9 @@ set — nothing can be silently dropped.
     python -m repro smoke             # runtime baseline -> results/
     python -m repro lint              # svtlint invariant checker
     python -m repro run cpuid --mode baseline --trace out.json
+    python -m repro run cpuid --profile        # cProfile a single cell
     python -m repro table1 --metrics metrics.json
+    python -m repro bench --smoke     # perf harness -> BENCH_sim.json
 
 Results are cached under ``results/cache/`` keyed by (experiment,
 params, cost-model fingerprint, code version); ``--no-cache`` forces
@@ -138,6 +140,17 @@ def _cmd_run(argv):
                         help="write a repro-metrics/1 JSON dump to PATH")
     parser.add_argument("--no-breakdown", action="store_true",
                         help="skip the per-part breakdown table")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the cell under cProfile and print the "
+                             "top cumulative-time functions (perf PRs "
+                             "start from this data)")
+    parser.add_argument("--profile-top", type=int, default=20,
+                        metavar="N",
+                        help="rows of the cProfile report (default 20)")
+    parser.add_argument("--profile-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="also dump raw pstats data to PATH "
+                             "(inspect with `python -m pstats`)")
     args = parser.parse_args(argv)
 
     from repro.core.mode import ExecutionMode
@@ -154,6 +167,12 @@ def _cmd_run(argv):
     mode = ExecutionMode.validate(args.mode)
     observer = Observer()
     machine = Machine(mode=mode, observer=observer)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     # One warm-up iteration, same protocol as repro.workloads.cpuid
     # (the first HW SVt resume differs slightly); it is traced too, and
     # the per-op breakdown divides by iterations + 1.
@@ -163,6 +182,16 @@ def _cmd_run(argv):
         isa.Program([isa.cpuid()], repeat=args.iterations),
         level=args.level,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        if args.profile_out is not None:
+            args.profile_out.parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(args.profile_out)
+            print(f"pstats dump -> {args.profile_out}")
     operations = args.iterations + 1
     print(f"cpuid mode={mode} L{args.level}: "
           f"{result.ns_per_instruction:.1f} ns/op "
@@ -249,6 +278,109 @@ def _cmd_chaos(argv):
     return 0
 
 
+def _cmd_bench(argv):
+    """``repro bench``: the wall-clock perf-regression harness.
+
+    Times registered experiments under the segment and legacy kernels
+    (min-of-N wall clock, events/sec, instructions/sec), writes the
+    ``repro-bench/1`` document to ``BENCH_sim.json`` at the repo root,
+    and compares against a committed baseline; ``--check`` turns a
+    regression beyond ``--threshold`` into a nonzero exit (the CI
+    bench-smoke gate).
+    """
+    import json
+
+    from repro.exp import bench
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time registered experiments under the segment vs "
+                    "legacy simulation kernels and track the "
+                    "perf trajectory in BENCH_sim.json",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="smoke parameters only (CI bench-smoke "
+                             "job; default: smoke and full sections)")
+    parser.add_argument("--full", action="store_true",
+                        help="full parameters only")
+    parser.add_argument("--experiments", default=None, metavar="A,B,C",
+                        help="comma-separated subset (default: all "
+                             "registered experiments)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="timed repetitions per experiment; the "
+                             "minimum is reported (default 3)")
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the legacy-kernel timing (no "
+                             "speedup column; faster run)")
+    parser.add_argument("--out", type=Path, default=None, metavar="PATH",
+                        help="output document (default BENCH_sim.json "
+                             "at the repo root)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="baseline to compare against (default: "
+                             "the committed BENCH_sim.json)")
+    parser.add_argument("--threshold", type=float,
+                        default=bench.DEFAULT_THRESHOLD,
+                        help="regression threshold as a fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any experiment regresses "
+                             "beyond the threshold")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the document on stdout")
+    args = parser.parse_args(argv)
+
+    if args.smoke and args.full:
+        sections = ("smoke", "full")
+    elif args.smoke:
+        sections = ("smoke",)
+    elif args.full:
+        sections = ("full",)
+    else:
+        sections = ("smoke", "full")
+    names = (args.experiments.split(",") if args.experiments else None)
+
+    baseline_path = args.baseline or bench.default_bench_path()
+    baseline = None
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError):
+        pass
+
+    doc = bench.bench_document(names=names, sections=sections,
+                               repeats=args.repeats,
+                               legacy=not args.no_legacy)
+
+    out = args.out or bench.default_bench_path()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(canonical_json(doc))
+
+    if args.json:
+        sys.stdout.write(canonical_json(doc))
+    else:
+        print(bench.render(doc))
+        print(f"bench -> {out}")
+
+    if baseline is not None:
+        regressions = bench.compare(doc, baseline,
+                                    threshold=args.threshold)
+        for reg in regressions:
+            print(f"REGRESSION [{reg['section']}] {reg['experiment']}: "
+                  f"{reg['wall_s']:.4f}s vs baseline "
+                  f"{reg['baseline_wall_s']:.4f}s "
+                  f"({reg['ratio']:.2f}x, threshold "
+                  f"{1 + args.threshold:.2f}x)", file=sys.stderr)
+        if regressions and args.check:
+            return 1
+        if not regressions:
+            print(f"no regressions vs {baseline_path} "
+                  f"(threshold {args.threshold:.0%})", file=sys.stderr)
+    elif args.check:
+        print(f"bench --check: no baseline at {baseline_path}; "
+              "nothing to compare", file=sys.stderr)
+    return 0
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["lint"]:
@@ -266,6 +398,9 @@ def main(argv=None):
         # Same pattern: chaos adds --rates/--out on top of the
         # registered experiment.
         return _cmd_chaos(argv[1:])
+    if argv[:1] == ["bench"]:
+        # Same pattern: the perf harness has its own flag namespace.
+        return _cmd_bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()

@@ -34,7 +34,7 @@ class SwitchEngine:
 
     def _charge(self, ns, category):
         if ns:
-            self.sim.advance(ns)
+            self.sim.charge(ns)
             self.tracer.record(category, ns)
             if self.obs is not None:
                 self.obs.observe("switch_ns", ns, category=category)

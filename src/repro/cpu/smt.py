@@ -85,7 +85,7 @@ class SmtCore:
         self.svt_visor = visor
         self.svt_vm = vm
         self.svt_nested = nested
-        self.sim.advance(self.costs.svt_vmptrld_cache)
+        self.sim.charge(self.costs.svt_vmptrld_cache)
         self.tracer.record(Category.STALL_RESUME, self.costs.svt_vmptrld_cache)
 
     # -- fetch steering (paper §4 steps C / steady state) ---------------------
@@ -121,7 +121,7 @@ class SmtCore:
         current.set_state(ContextState.STALLED)
         target.set_state(ContextState.RUNNING)
         self.svt_current = target_index
-        self.sim.advance(self.costs.svt_stall_resume)
+        self.sim.charge(self.costs.svt_stall_resume)
         self.tracer.record(Category.STALL_RESUME, self.costs.svt_stall_resume)
         if self.obs is not None:
             self.obs.count("svt_transitions_total",
@@ -135,7 +135,7 @@ class SmtCore:
         The *semantic* operation — permission checks and ``lvl``
         virtualization live in `repro.core.cross_context`."""
         value = self.context(target_index).read(register)
-        self.sim.advance(self.costs.ctxt_access)
+        self.sim.charge(self.costs.ctxt_access)
         self.tracer.record(Category.CROSS_CONTEXT, self.costs.ctxt_access)
         if self.obs is not None:
             self.obs.count("ctxt_access_total", op="ctxtld")
@@ -144,7 +144,7 @@ class SmtCore:
     def cross_write(self, target_index, register, value):
         """Write ``register`` of another context through its rename map."""
         self.context(target_index).write(register, value)
-        self.sim.advance(self.costs.ctxt_access)
+        self.sim.charge(self.costs.ctxt_access)
         self.tracer.record(Category.CROSS_CONTEXT, self.costs.ctxt_access)
         if self.obs is not None:
             self.obs.count("ctxt_access_total", op="ctxtst")

@@ -1,0 +1,249 @@
+"""`repro bench` — the wall-clock perf-regression harness.
+
+Times every registered experiment under the segment (fast-path) kernel
+and, for the speedup column, under the legacy per-instruction kernel,
+at smoke and/or full parameters.  Each (experiment, kernel) pair runs
+its cells serially ``repeats`` times and reports the **minimum** wall
+clock (min-of-N filters scheduler noise without averaging it in),
+alongside simulation throughput: events fired per second and
+instructions retired per second, collected through
+:func:`repro.sim.kernel.collect_stats`.
+
+The document is written to ``BENCH_sim.json`` at the repo root — the
+perf-trajectory artifact every later perf PR is measured against — and
+:func:`compare` checks a fresh run against a committed baseline with a
+configurable regression threshold (CI's bench-smoke job gates on it).
+
+Wall-clock numbers are machine-dependent by nature; the artifact is a
+trajectory on comparable hardware, not a determinism surface.  Nothing
+here feeds a :class:`~repro.exp.result.Result`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.exp import registry
+from repro.sim import kernel as simkernel
+
+#: Schema tag of the BENCH_sim.json document.
+SCHEMA = "repro-bench/1"
+
+#: Default regression threshold: fail when a section/experiment wall
+#: clock exceeds the baseline by more than this fraction.
+DEFAULT_THRESHOLD = 0.25
+
+#: Noise floor for regression comparison: entries where both current
+#: and baseline wall clocks sit under this are pure scheduler jitter
+#: (a 3 ms experiment "regressing" by 30% is one cache miss) and are
+#: never flagged.
+MIN_COMPARE_WALL_S = 0.005
+
+#: Absolute slack for regression comparison: a flagged entry must be
+#: slower by at least this many seconds on top of the relative
+#: threshold.  Smoke cells run in tens of milliseconds, where a 25%
+#: relative excursion is routine scheduler jitter; genuine fast-path
+#: breakage (e.g. the segment kernel silently degrading to the legacy
+#: cadence) costs hundreds of milliseconds and clears this easily.
+MIN_REGRESSION_DELTA_S = 0.05
+
+
+def default_bench_path() -> Path:
+    """``<repo>/BENCH_sim.json`` next to the installed package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / "BENCH_sim.json"
+
+
+def _resolve_params(experiment: registry.Experiment, smoke: bool,
+                    overrides: Optional[Mapping[str, Any]],
+                    ) -> dict[str, Any]:
+    params = dict(experiment.defaults)
+    if smoke:
+        params.update(experiment.smoke)
+    for key, value in (overrides or {}).items():
+        if key in experiment.defaults and value is not None:
+            params[key] = value
+    return params
+
+
+def _time_cells(experiment: registry.Experiment,
+                params: Mapping[str, Any], kernel: str, repeats: int,
+                ) -> tuple[float, int, int, dict[str, float]]:
+    """Min-of-N wall clock for one (experiment, kernel) pair.
+
+    Returns ``(wall_s, events_fired, instructions, cell_walls)``.  Each
+    cell is timed individually (min over the repeats per cell, so the
+    acceptance-level per-cell speedups are visible in the artifact);
+    ``wall_s`` is the min over repeats of the summed cell walls.  The
+    counters come from the last repeat and are deterministic (identical
+    every repeat), unlike the wall clock.
+    """
+    cells = experiment.cells(dict(params))
+    wall = float("inf")
+    cell_walls = {cell: float("inf") for cell in cells}
+    events = 0
+    instructions = 0
+    with simkernel.use_kernel(kernel):
+        for _ in range(max(1, repeats)):
+            total = 0.0
+            with simkernel.collect_stats() as stats:
+                for cell in cells:
+                    # Wall-clock is the measurement here, not a hidden
+                    # nondeterminism: it never reaches a Result.
+                    started = time.perf_counter()  # svtlint: disable=SVT001
+                    experiment.run_cell(cell, dict(params))
+                    took = time.perf_counter() - started  # svtlint: disable=SVT001
+                    total += took
+                    cell_walls[cell] = min(cell_walls[cell], took)
+            wall = min(wall, total)
+            events = stats.events_fired
+            instructions = stats.instructions
+    return wall, events, instructions, cell_walls
+
+
+def bench_section(names: Iterable[str], smoke: bool, repeats: int = 3,
+                  legacy: bool = True,
+                  overrides: Optional[Mapping[str, Any]] = None,
+                  ) -> dict[str, Any]:
+    """One parameter section (smoke or full) of the bench document."""
+    experiments: dict[str, Any] = {}
+    total_wall = 0.0
+    total_legacy = 0.0
+    for name in sorted(dict.fromkeys(names)):
+        experiment = registry.get(name)
+        params = _resolve_params(experiment, smoke, overrides)
+        wall, events, instructions, cell_walls = _time_cells(
+            experiment, params, simkernel.SEGMENT, repeats)
+        entry: dict[str, Any] = {
+            "cells": len(experiment.cells(params)),
+            "wall_s": round(wall, 4),
+            "cell_wall_s": {cell: round(took, 4)
+                            for cell, took in cell_walls.items()},
+            "events": events,
+            "events_per_s": round(events / wall) if wall else 0,
+            "instructions": instructions,
+            "instructions_per_s": (round(instructions / wall)
+                                   if wall else 0),
+        }
+        total_wall += wall
+        if legacy:
+            legacy_wall, _, _, legacy_cells = _time_cells(
+                experiment, params, simkernel.LEGACY, repeats)
+            entry["legacy_wall_s"] = round(legacy_wall, 4)
+            entry["speedup"] = (round(legacy_wall / wall, 2)
+                                if wall else 0.0)
+            entry["cell_speedup"] = {
+                cell: (round(legacy_cells[cell] / took, 2) if took
+                       else 0.0)
+                for cell, took in cell_walls.items()
+            }
+            total_legacy += legacy_wall
+        experiments[name] = entry
+    totals: dict[str, Any] = {"wall_s": round(total_wall, 4)}
+    if legacy:
+        totals["legacy_wall_s"] = round(total_legacy, 4)
+        totals["speedup"] = (round(total_legacy / total_wall, 2)
+                             if total_wall else 0.0)
+    return {"experiments": experiments, "totals": totals}
+
+
+def bench_document(names: Optional[Iterable[str]] = None,
+                   sections: Iterable[str] = ("smoke", "full"),
+                   repeats: int = 3, legacy: bool = True,
+                   overrides: Optional[Mapping[str, Any]] = None,
+                   ) -> dict[str, Any]:
+    """The full ``repro-bench/1`` document."""
+    registry.ensure_loaded()
+    names = sorted(names or registry.names())
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "kernel_version": simkernel.KERNEL_VERSION,
+        "repeats": repeats,
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "sections": {},
+    }
+    for section in sections:
+        if section not in ("smoke", "full"):
+            raise ValueError(f"unknown bench section {section!r}")
+        doc["sections"][section] = bench_section(
+            names, smoke=(section == "smoke"), repeats=repeats,
+            legacy=legacy, overrides=overrides)
+    return doc
+
+
+def compare(current: Mapping[str, Any], baseline: Mapping[str, Any],
+            threshold: float = DEFAULT_THRESHOLD) -> list[dict[str, Any]]:
+    """Wall-clock regressions of ``current`` versus ``baseline``.
+
+    Compares every (section, experiment) present in both documents;
+    an entry regresses when its segment-kernel wall clock exceeds the
+    baseline's by more than ``threshold`` (a fraction) *and* by at
+    least :data:`MIN_REGRESSION_DELTA_S` in absolute terms.  Entries
+    where both walls are under :data:`MIN_COMPARE_WALL_S` are skipped
+    as noise.  Returns the regressions sorted worst-first.
+    """
+    regressions: list[dict[str, Any]] = []
+    base_sections = baseline.get("sections", {})
+    for section, payload in current.get("sections", {}).items():
+        base_experiments = base_sections.get(section, {}).get(
+            "experiments", {})
+        for name, entry in payload.get("experiments", {}).items():
+            base_entry = base_experiments.get(name)
+            if base_entry is None:
+                continue
+            wall = float(entry.get("wall_s", 0.0))
+            base_wall = float(base_entry.get("wall_s", 0.0))
+            if base_wall <= 0.0:
+                continue
+            if (wall < MIN_COMPARE_WALL_S
+                    and base_wall < MIN_COMPARE_WALL_S):
+                continue
+            if wall - base_wall < MIN_REGRESSION_DELTA_S:
+                continue
+            ratio = wall / base_wall
+            if ratio > 1.0 + threshold:
+                regressions.append({
+                    "section": section,
+                    "experiment": name,
+                    "wall_s": wall,
+                    "baseline_wall_s": base_wall,
+                    "ratio": round(ratio, 3),
+                })
+    return sorted(regressions, key=lambda r: -float(r["ratio"]))
+
+
+def render(doc: Mapping[str, Any]) -> str:
+    """Human-readable summary of a bench document."""
+    lines: list[str] = []
+    for section, payload in doc.get("sections", {}).items():
+        lines.append(f"[{section}]")
+        header = (f"  {'experiment':<18} {'cells':>5} {'wall_s':>9} "
+                  f"{'legacy_s':>9} {'speedup':>8} {'best':>7} "
+                  f"{'events/s':>12} {'instr/s':>12}")
+        lines.append(header)
+        for name, entry in sorted(payload["experiments"].items()):
+            cell_speedups = entry.get("cell_speedup", {})
+            best = max(cell_speedups.values(), default=0.0)
+            lines.append(
+                f"  {name:<18} {entry['cells']:>5} "
+                f"{entry['wall_s']:>9.4f} "
+                f"{entry.get('legacy_wall_s', 0.0):>9.4f} "
+                f"{entry.get('speedup', 0.0):>7.2f}x "
+                f"{best:>6.2f}x "
+                f"{entry['events_per_s']:>12,} "
+                f"{entry['instructions_per_s']:>12,}"
+            )
+        totals = payload["totals"]
+        speedup = totals.get("speedup")
+        suffix = f", speedup {speedup:.2f}x" if speedup else ""
+        lines.append(
+            f"  total: {totals['wall_s']:.2f}s segment"
+            + (f" vs {totals['legacy_wall_s']:.2f}s legacy"
+               if "legacy_wall_s" in totals else "")
+            + suffix
+        )
+    return "\n".join(lines)

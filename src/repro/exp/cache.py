@@ -9,7 +9,12 @@ depends on —
 * the cost-model fingerprint (any change to a default timing constant
   invalidates every cached result),
 * the code fingerprint (a content hash over every ``repro`` source
-  module — edit any simulator file and the cache misses).
+  module — edit any simulator file and the cache misses),
+* the kernel tag (engine generation + active simulation kernel, see
+  :mod:`repro.sim.kernel`) — results computed by a pre-segment engine
+  can never be served after an engine change, and ``segment`` /
+  ``legacy`` runs never share entries even though they are
+  byte-identical by contract.
 
 Entries are one JSON file per (experiment, key) holding the serialized
 :class:`~repro.exp.result.Result` plus the key material for debugging.
@@ -27,6 +32,7 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.cpu.costs import CostModel
 from repro.exp.result import Result, canonical_json
+from repro.sim.kernel import kernel_tag
 
 SCHEMA = "repro-cache/1"
 
@@ -77,6 +83,7 @@ class ResultCache:
                 "params": dict(params),
                 "cost_model": self._cost_fp,
                 "code": self._code_fp,
+                "kernel": kernel_tag(),
             },
             sort_keys=True,
         ).encode()
@@ -115,6 +122,7 @@ class ResultCache:
             "params": dict(params),
             "cost_model_fingerprint": self._cost_fp,
             "code_fingerprint": self._code_fp,
+            "kernel": kernel_tag(),
             "result": result.to_dict(),
         }
         path.write_text(canonical_json(doc))

@@ -16,6 +16,9 @@ invariants behind those promises as machine-checked rules:
 * **SVT005** :mod:`repro.lint.bounded` — ``while`` loops under
   ``repro.core`` carry a watchdog/cycle-budget identifier (or a
   *justified* inline suppression; a bare disable is itself a finding).
+* **SVT006** :mod:`repro.lint.fastpath` — per-instruction loops in the
+  modelling packages charge time via ``sim.charge`` instead of the
+  heap-draining ``sim.advance`` (justified suppressions as in SVT005).
 
 Run via ``python -m repro lint`` (see :mod:`repro.lint.cli`), ``make
 lint``, or programmatically through :func:`lint_paths`.  Suppress a
@@ -32,6 +35,7 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
 )
+from repro.lint.fastpath import FastPathRule
 from repro.lint.findings import Finding, findings_document
 from repro.lint.frozen import FrozenResultRule
 from repro.lint.poolsafety import PoolSafetyRule
@@ -42,6 +46,7 @@ __all__ = [
     "BoundedLoopRule",
     "DEFAULT_RULES",
     "DeterminismRule",
+    "FastPathRule",
     "Finding",
     "FrozenResultRule",
     "PoolSafetyRule",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import ast
 
 from repro.lint.engine import LintContext, Rule, package_scoped
-from repro.lint.source import _SUPPRESS_RE, SourceFile
+from repro.lint.source import SourceFile, suppression_justified
 
 PACKAGES = ("repro.core",)
 
@@ -62,14 +62,6 @@ def _mentions_budget(node: ast.AST) -> bool:
                for token in BUDGET_TOKENS)
 
 
-def _justification(comment: str) -> str:
-    """The free text following the ``disable`` directive in a comment."""
-    match = _SUPPRESS_RE.search(comment)
-    if match is None:
-        return ""
-    return comment[match.end():].strip(" \t#:;,.!—–-")
-
-
 class BoundedLoopRule(Rule):
     """SVT005: while loops in repro.core need a cycle budget or watchdog."""
 
@@ -86,7 +78,8 @@ class BoundedLoopRule(Rule):
             return
         line = node.lineno
         if ctx.source.suppressed(line, self.rule_id):
-            if self._justified(ctx.source, line):
+            if suppression_justified(ctx.source, line,
+                                     MIN_JUSTIFICATION):
                 return
             ctx.report(
                 self, node,
@@ -102,35 +95,3 @@ class BoundedLoopRule(Rule):
             "test or body can hang under fault injection; bound it or "
             "add a justified '# svtlint: disable=SVT005 — ...' comment",
         )
-
-    # -- suppression-justification scan ----------------------------------
-
-    def _justified(self, source: SourceFile, line: int) -> bool:
-        """Does the directive covering ``line`` explain itself?
-
-        The directive lives either in a trailing comment on the line or
-        in the comment-only block directly above; continuation comment
-        lines in that block count toward the justification.
-        """
-        comment = source.comments.get(line, "")
-        if self.rule_id in comment or "disable" in comment:
-            return len(_justification(comment)) >= MIN_JUSTIFICATION
-        # Walk the contiguous comment/blank block above the loop.
-        block: list[str] = []
-        prev = line - 1
-        while prev > 0 and (prev in source.comment_only_lines
-                            or source.line_is_blank(prev)):
-            text = source.comments.get(prev, "")
-            block.append(text)
-            if _SUPPRESS_RE.search(text):
-                break
-            prev -= 1
-        for index, text in enumerate(block):
-            if _SUPPRESS_RE.search(text) is None:
-                continue
-            # Directive text plus any continuation lines below it
-            # (block is bottom-up, so earlier entries are *later* lines).
-            parts = [_justification(text)]
-            parts.extend(t.lstrip("# \t") for t in block[:index])
-            return len(" ".join(parts).strip()) >= MIN_JUSTIFICATION
-        return False

@@ -25,6 +25,7 @@ from repro.exp.result import canonical_json
 from repro.lint.bounded import BoundedLoopRule
 from repro.lint.determinism import DeterminismRule
 from repro.lint.engine import Rule, lint_paths
+from repro.lint.fastpath import FastPathRule
 from repro.lint.findings import findings_document
 from repro.lint.frozen import FrozenResultRule
 from repro.lint.poolsafety import PoolSafetyRule
@@ -37,6 +38,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     PoolSafetyRule,
     FrozenResultRule,
     BoundedLoopRule,
+    FastPathRule,
 )
 
 

@@ -54,6 +54,48 @@ def module_name_for(path: Path) -> str:
     return ".".join(dotted)
 
 
+def justification_text(comment: str) -> str:
+    """The free text following the ``disable`` directive in a comment."""
+    match = _SUPPRESS_RE.search(comment)
+    if match is None:
+        return ""
+    return comment[match.end():].strip(" \t#:;,.!—–-")
+
+
+def suppression_justified(source: "SourceFile", line: int,
+                          min_length: int = 8) -> bool:
+    """Does the suppression directive covering ``line`` explain itself?
+
+    Rules whose suppressions must carry a justification (SVT005,
+    SVT006) share this scan.  The directive lives either in a trailing
+    comment on the line or in the comment-only block directly above;
+    continuation comment lines in that block count toward the
+    justification.
+    """
+    comment = source.comments.get(line, "")
+    if "disable" in comment:
+        return len(justification_text(comment)) >= min_length
+    # Walk the contiguous comment/blank block above the statement.
+    block: list[str] = []
+    prev = line - 1
+    while prev > 0 and (prev in source.comment_only_lines
+                        or source.line_is_blank(prev)):
+        text = source.comments.get(prev, "")
+        block.append(text)
+        if _SUPPRESS_RE.search(text):
+            break
+        prev -= 1
+    for index, text in enumerate(block):
+        if _SUPPRESS_RE.search(text) is None:
+            continue
+        # Directive text plus any continuation lines below it (block
+        # is bottom-up, so earlier entries are *later* lines).
+        parts = [justification_text(text)]
+        parts.extend(t.lstrip("# \t") for t in block[:index])
+        return len(" ".join(parts).strip()) >= min_length
+    return False
+
+
 class SourceFile:
     """One parsed Python file plus its comment/suppression index."""
 

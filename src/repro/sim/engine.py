@@ -13,6 +13,20 @@ Two styles of progress coexist:
 Determinism: ties on the timestamp are broken by registration order, and
 no wall-clock or global randomness is consulted anywhere.
 
+**Fast path (docs/performance.md).**  :meth:`Simulator.charge` is the
+hot-path twin of :meth:`advance`: it keeps a conservative-low cache of
+the earliest scheduled deadline (``_next_due``) and, while the charge
+target stays below it, bumps the clock without touching the heap at
+all.  The cache only ever *under*-estimates the true next live deadline
+(pushes min-update it, pops refresh it from the heap root, which may be
+a cancelled entry at an earlier time), so a skipped drain can never skip
+a due event.  Fired and cancelled handles are recycled through a
+bounded freelist — but only when their refcount proves no outside alias
+survives that could later ``cancel()`` the reincarnated event — and the
+heap is compacted inside :meth:`at` once cancelled entries outnumber
+live ones (watchdog retry timers would otherwise leak dead handles
+forever).
+
 **Deadlock/livelock detection.**  Blocking participants announce
 themselves with :meth:`Simulator.park` (and :meth:`Simulator.unpark` on
 wake-up).  When :meth:`run_until_idle` drains the event queue while
@@ -26,8 +40,18 @@ themselves without progress) into the same loud report.
 
 import heapq
 from dataclasses import dataclass, field
+from sys import getrefcount
 
 from repro.errors import DeadlockError
+from repro.sim import kernel as _kernel
+
+#: Freelist bound: enough to absorb timer churn, small enough that a
+#: pathological cancel storm cannot pin memory.
+_FREELIST_MAX = 256
+
+#: Minimum number of cancelled entries before ``at`` considers
+#: compacting — avoids heapify thrash on tiny queues.
+_COMPACT_MIN = 8
 
 
 class SimulationError(RuntimeError):
@@ -111,6 +135,7 @@ class EventHandle:
             # already-fired event has detached itself (owner is None).
             if self._owner is not None:
                 self._owner._pending -= 1
+                self._owner._dead += 1
                 self._owner = None
 
     def __lt__(self, other):
@@ -130,14 +155,29 @@ class Simulator:
         self._seq = 0
         self._pending = 0
         self._firing = False
+        # Conservative-low cache of the earliest scheduled deadline:
+        # never greater than the true earliest *live* deadline (it may
+        # point at a cancelled entry's earlier time, which is harmless),
+        # so `charge` may skip the heap whenever target < _next_due.
+        self._next_due = None
+        # Cancelled entries still sitting in the heap; compaction in
+        # `at` keeps this below the live count.
+        self._dead = 0
+        # Recycled EventHandle slots (bounded; see _recycle).
+        self._freelist = []
+        # Fast-path accounting (repro.sim.kernel / `repro bench`).
+        self.events_fired = 0
+        self.compactions = 0
         # Parked waiters (deadlock detection): name -> Waiter.
         self._waiters = {}
         # Observability hook (repro.obs.Observer); None keeps event
         # firing on the exact pre-observability path.
         self.obs = None
+        _kernel.adopt_simulator(self)
 
     def _fire(self, head):
         """Run one due event's callback, optionally under a span."""
+        self.events_fired += 1
         obs = self.obs
         if obs is not None and obs.tracing:
             name = getattr(head.callback, "__qualname__",
@@ -155,10 +195,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        handle = EventHandle(time, self._seq, callback, args, owner=self)
+        if self._dead >= _COMPACT_MIN and self._dead > self._pending:
+            self._compact()
+        free = self._freelist
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = self._seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle._owner = self
+        else:
+            handle = EventHandle(time, self._seq, callback, args,
+                                 owner=self)
         self._seq += 1
         self._pending += 1
         heapq.heappush(self._queue, handle)
+        if self._next_due is None or time < self._next_due:
+            self._next_due = time
         return handle
 
     def after(self, delay, callback, *args):
@@ -181,6 +236,30 @@ class Simulator:
         target = self.now + ns
         self._drain(target)
         self.now = target
+        queue = self._queue
+        self._next_due = queue[0].time if queue else None
+        return target
+
+    def charge(self, ns):
+        """Fast-path :meth:`advance`: identical semantics, lazy heap.
+
+        While the target stays strictly below the cached next deadline
+        no event can fall due, so the clock bumps without a heap peek;
+        otherwise the call flushes through the same :meth:`_drain` as
+        ``advance`` and every due event fires at its exact timestamp.
+        Synchronous machine code on the hot path charges through this.
+        """
+        if ns < 0:
+            raise SimulationError(f"cannot advance by negative time {ns}")
+        target = self.now + ns
+        due = self._next_due
+        if due is None or due > target:
+            self.now = target
+            return target
+        self._drain(target)
+        self.now = target
+        queue = self._queue
+        self._next_due = queue[0].time if queue else None
         return target
 
     def run_until_idle(self, limit=None, max_events=None):
@@ -201,6 +280,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._dead -= 1
+                self._recycle(head)
                 continue
             if target is not None and head.time > target:
                 break
@@ -216,7 +297,10 @@ class Simulator:
             head._owner = None
             self.now = head.time
             self._fire(head)
+            self._recycle(head)
             fired += 1
+        queue = self._queue
+        self._next_due = queue[0].time if queue else None
         if target is not None and target > self.now:
             self.now = target
         if not self._queue and self._waiters:
@@ -267,8 +351,14 @@ class Simulator:
     def peek_next_time(self):
         """Timestamp of the earliest pending event, or ``None``."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+            head = heapq.heappop(self._queue)
+            self._dead -= 1
+            self._recycle(head)
+        if not self._queue:
+            self._next_due = None
+            return None
+        self._next_due = self._queue[0].time
+        return self._next_due
 
     @property
     def pending(self):
@@ -289,6 +379,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._dead -= 1
+                self._recycle(head)
                 continue
             if head.time > target:
                 break
@@ -297,3 +389,43 @@ class Simulator:
             head._owner = None
             self.now = head.time
             self._fire(head)
+            self._recycle(head)
+
+    def _recycle(self, handle, extra=0):
+        """Return a dead (fired or cancelled) handle to the freelist.
+
+        Only when its refcount proves no alias survives outside the
+        caller: the caller's local, this parameter binding and
+        ``getrefcount``'s own argument account for 3 references
+        (``extra`` covers a caller-side container still holding it).
+        Any additional reference means external code could still call
+        ``cancel()`` on the handle after reuse — which would corrupt an
+        unrelated future event — so such handles are simply dropped.
+        Recycling never perturbs ordering: ``seq`` comes from the
+        monotonic global counter regardless of the allocation path.
+        """
+        free = self._freelist
+        if len(free) >= _FREELIST_MAX or getrefcount(handle) > 3 + extra:
+            return
+        handle.callback = None
+        handle.args = ()
+        handle._owner = None
+        free.append(handle)
+
+    def _compact(self):
+        """Rebuild the heap without cancelled entries (satellite of the
+        fast-path work: watchdog retry timers cancel in bulk and used to
+        leave their handles in ``_queue`` until their deadline passed).
+        """
+        queue = self._queue
+        live = []
+        for handle in queue:
+            if handle.cancelled:
+                self._recycle(handle, extra=1)
+            else:
+                live.append(handle)
+        heapq.heapify(live)
+        self._queue = live
+        self._dead = 0
+        self._next_due = live[0].time if live else None
+        self.compactions += 1

@@ -43,6 +43,16 @@ class DeterministicRng:
     def random(self):
         return self._random.random()
 
+    def raw_stream(self):
+        """The underlying uniform stream as a bound ``random()`` method.
+
+        For fast-path replays (``docs/performance.md``) that inline the
+        stdlib samplers bit-exactly: drawing from this stream with the
+        same algorithm consumes the identical variates in the identical
+        order, so fast and reference paths stay bit-for-bit equal.
+        """
+        return self._random.random
+
     def shuffle(self, seq):
         self._random.shuffle(seq)
 

@@ -230,7 +230,7 @@ class ThirdLevelStack:
 
     def _charge(self, ns, category):
         if ns:
-            self.machine.sim.advance(ns)
+            self.machine.sim.charge(ns)
             self.machine.tracer.record(category, ns)
 
 

@@ -388,7 +388,7 @@ class NestedStack:
 
     def _charge(self, ns, category):
         if ns:
-            self.sim.advance(ns)
+            self.sim.charge(ns)
             self.tracer.record(category, ns)
 
     def profile_share(self, reason):

@@ -18,12 +18,14 @@ Reproduction in two stages:
    p99 explodes first.
 """
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.mode import ExecutionMode
 from repro.core.system import Machine
 from repro.cpu import isa
 from repro.io.net import Packet, TXQ, install_network
+from repro.sim import kernel as simkernel
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import percentile
 from repro.virt.exits import ExitInfo, ExitReason
@@ -122,7 +124,26 @@ def measure_service(mode=ExecutionMode.BASELINE, config=None, samples=18,
 
 
 def _queueing_run(get_ns, set_ns, offered_kqps, cfg, rng, requests=30_000):
-    """FCFS multi-server queue; returns (avg_us, p99_us) of sojourn."""
+    """FCFS multi-server queue; returns (avg_us, p99_us) of sojourn.
+
+    Dispatches to the compiled request-segment replay under the
+    ``segment`` kernel (docs/performance.md) whenever the workload shape
+    allows it; the reference loop stays the semantic definition and the
+    ``legacy`` kernel's path.  Both are bit-for-bit identical.
+    """
+    if (simkernel.active_kernel() == simkernel.SEGMENT
+            and cfg.servers == 2 and cfg.key_space > 1
+            and cfg.service_jitter_sigma > 0
+            and get_ns > 0 and set_ns > 0):
+        return _queueing_run_fast(get_ns, set_ns, offered_kqps, cfg,
+                                  rng, requests)
+    return _queueing_run_reference(get_ns, set_ns, offered_kqps, cfg,
+                                   rng, requests)
+
+
+def _queueing_run_reference(get_ns, set_ns, offered_kqps, cfg, rng,
+                            requests=30_000):
+    """The per-request loop, one rng helper call per draw (legacy)."""
     arrival_mean_ns = 1e6 / offered_kqps
     servers = [0.0] * cfg.servers
     clock = 0.0
@@ -138,6 +159,72 @@ def _queueing_run(get_ns, set_ns, offered_kqps, cfg, rng, requests=30_000):
         finish = start + service
         servers[idx] = finish
         sojourns.append(finish - clock)
+    avg = sum(sojourns) / len(sojourns) / 1000.0
+    return avg, percentile(sojourns, 99) / 1000.0
+
+
+#: Kinderman-Monahan constant, exactly as CPython's random.normalvariate
+#: uses it (stable across the 3.9-3.13 line; the differential tests
+#: below and in tests/workloads guard against upstream drift).
+_NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
+
+
+def _queueing_run_fast(get_ns, set_ns, offered_kqps, cfg, rng,
+                       requests=30_000):
+    """Segment-compiled replay of the reference loop (bit-exact).
+
+    The per-request "segment" — arrival draw, GET/SET split, key
+    popularity draw, log-normal service draw, 2-server FCFS dispatch —
+    is compiled down to local arithmetic over the raw uniform stream:
+    the stdlib samplers (``expovariate``, ``lognormvariate`` via
+    Kinderman-Monahan ``normalvariate``) are inlined with their exact
+    algorithms, and the per-mode constants (``lambd``, the two
+    log-normal ``mu`` values) are hoisted out of the loop.  Exactly one
+    zipf popularity variate is consumed and discarded per request, as
+    in the reference (`zipf_index` draws once for ``key_space > 1``).
+    Guarded by the dispatcher to the shapes it compiles for
+    (two servers, jitter > 0); anything else takes the reference loop.
+    """
+    random = rng.raw_stream()
+    log = math.log
+    exp = math.exp
+    lambd = 1.0 / (1e6 / offered_kqps)
+    p_get = cfg.get_fraction
+    sigma = cfg.service_jitter_sigma
+    half_var = sigma * sigma / 2.0
+    mu_get = log(get_ns) - half_var
+    mu_set = log(set_ns) - half_var
+    nv_magic = _NV_MAGICCONST
+    server0 = 0.0
+    server1 = 0.0
+    clock = 0.0
+    sojourns = []
+    append = sojourns.append
+    for _ in range(requests):
+        # expovariate(lambd), inlined.
+        clock += -log(1.0 - random()) / lambd
+        is_get = random() < p_get
+        random()  # zipf popularity draw (index unused by the model)
+        mu = mu_get if is_get else mu_set
+        # lognormvariate = exp(normalvariate(mu, sigma)), inlined
+        # (Kinderman-Monahan rejection sampling).
+        while True:
+            u1 = random()
+            u2 = 1.0 - random()
+            z = nv_magic * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -log(u2):
+                break
+        service = exp(mu + z * sigma)
+        # Two-server FCFS: ties pick server 0, same as min() over the
+        # list in the reference.
+        if server0 <= server1:
+            start = clock if clock > server0 else server0
+            server0 = start + service
+            append(server0 - clock)
+        else:
+            start = clock if clock > server1 else server1
+            server1 = start + service
+            append(server1 - clock)
     avg = sum(sojourns) / len(sojourns) / 1000.0
     return avg, percentile(sojourns, 99) / 1000.0
 

@@ -1,0 +1,153 @@
+"""Segment compiler: batching boundaries, memoization, machine parity.
+
+``compile_program`` may only fuse instructions that can never exit or
+touch machine state (ALU/PAUSE); every trap site must stay a stepwise
+node so the segment replay observes interrupts, deferred I/O and fault
+injection at exactly the same instruction boundaries as the legacy
+per-instruction walk.
+"""
+
+import pytest
+
+from repro.core.mode import ExecutionMode
+from repro.core.system import Machine
+from repro.cpu import isa, segments
+from repro.cpu.costs import CostModel
+from repro.cpu.isa import Instruction, Op, Program
+from repro.virt.hypervisor import MSR_TSC_DEADLINE
+
+
+def compile_default(program, mode=ExecutionMode.BASELINE, level=2):
+    return segments.compile_program(program, mode, level, CostModel())
+
+
+# -- compiler structure ----------------------------------------------------
+
+
+def test_alu_run_becomes_one_segment():
+    program = Program([isa.alu(10), isa.alu(20), isa.alu(30)])
+    plan = compile_default(program)
+    assert plan.single is not None
+    assert plan.single.costs == plan.single.costs  # materialised
+    assert plan.count == 3
+    assert plan.single.total == sum(plan.single.costs)
+
+
+def test_trap_sites_split_segments():
+    program = Program([
+        isa.alu(10), isa.alu(20),
+        isa.cpuid(leaf=0),
+        isa.alu(30),
+    ])
+    plan = compile_default(program)
+    assert plan.single is None
+    kinds = [type(node).__name__ for node in plan.nodes]
+    assert kinds == ["Segment", "int", "Segment"]
+    assert plan.nodes[1] == 2            # index of the cpuid
+
+
+def test_only_alu_and_pause_are_batchable():
+    assert segments.BATCHABLE == frozenset({Op.ALU, Op.PAUSE})
+
+
+def test_suffix_sums_cover_every_resume_point():
+    program = Program([isa.alu(5), isa.alu(7), isa.alu(9)])
+    plan = compile_default(program)
+    segment = plan.single
+    assert list(segment.suffix) == [21, 16, 9, 0]
+    assert segment.total == 21
+
+
+def test_all_trap_program_has_no_segments():
+    program = Program([isa.cpuid(leaf=0), isa.vmcall(number=1)])
+    plan = compile_default(program)
+    assert plan.single is None
+    assert tuple(plan.nodes) == (0, 1)
+
+
+# -- memoization -----------------------------------------------------------
+
+
+def test_memo_returns_identical_plan():
+    program = Program([isa.alu(10), isa.alu(20)])
+    first = compile_default(program)
+    second = compile_default(program)
+    assert first is second
+
+
+def test_memo_distinguishes_mode_level_and_costs():
+    program = Program([isa.alu(10)])
+    base = compile_default(program)
+    other_mode = compile_default(program, mode=ExecutionMode.HW_SVT)
+    other_level = compile_default(program, level=3)
+    expensive = segments.compile_program(
+        program, ExecutionMode.BASELINE, 2,
+        CostModel(cpuid_guest_work=99_999))
+    assert base is not other_mode
+    assert base is not other_level
+    assert base is not expensive
+
+
+def test_memo_keys_on_instruction_stream_not_program_identity():
+    first = compile_default(Program([isa.alu(10), isa.alu(20)]))
+    second = compile_default(Program([isa.alu(10), isa.alu(20)]))
+    assert first is second
+
+
+# -- machine parity --------------------------------------------------------
+
+PROGRAMS = {
+    "alu-only": Program([isa.alu(100)] * 50, repeat=4),
+    "mixed": Program([
+        isa.alu(200), isa.alu(50),
+        isa.cpuid(leaf=0),
+        isa.alu(500),
+        isa.wrmsr(MSR_TSC_DEADLINE, 40_000),
+        isa.alu(125), Instruction(Op.PAUSE, work_ns=40),
+    ], repeat=6),
+    "trap-heavy": Program([
+        isa.cpuid(leaf=0), isa.alu(10), isa.vmcall(number=1),
+    ], repeat=3),
+}
+
+
+def _final_state(kernel, name):
+    machine = Machine(mode=ExecutionMode.SW_SVT, kernel=kernel)
+    count = machine.run_program(PROGRAMS[name])
+    return {
+        "count": count,
+        "now": machine.sim.now,
+        "exits": machine._total_exits(),
+        "retired": machine.instructions_retired,
+        "totals": dict(machine.tracer.totals),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_segment_machine_matches_legacy(name):
+    assert _final_state("segment", name) == _final_state("legacy", name)
+
+
+def test_timer_event_mid_segment_matches_legacy():
+    """An event due strictly inside a fused ALU run forces stepping."""
+    def run(kernel):
+        machine = Machine(mode=ExecutionMode.BASELINE, kernel=kernel)
+        seen = []
+        machine.sim.after(1_234, lambda: seen.append(machine.sim.now))
+        machine.run_program(Program([isa.alu(100)] * 40))
+        return seen, machine.sim.now, machine.instructions_retired
+
+    assert run("segment") == run("legacy")
+
+
+def test_machine_obs_forces_legacy_cadence():
+    from repro.obs import Observer
+
+    machine = Machine(mode=ExecutionMode.BASELINE, observer=Observer())
+    program = Program([isa.alu(100)] * 10)
+    machine.run_program(program)
+    # Per-instruction observability requires the stepwise path even
+    # under the segment kernel; totals must match a plain legacy run.
+    legacy = Machine(mode=ExecutionMode.BASELINE, kernel="legacy")
+    legacy.run_program(program)
+    assert machine.sim.now == legacy.sim.now

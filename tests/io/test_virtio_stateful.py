@@ -7,7 +7,7 @@ structural invariants after every step.
 
 from collections import deque
 
-from hypothesis import settings
+from hypothesis import HealthCheck, settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
@@ -73,6 +73,11 @@ class VirtQueueMachine(RuleBasedStateMachine):
 
 
 TestVirtQueueStateful = VirtQueueMachine.TestCase
+# The preconditions intentionally filter rules whenever the queue is
+# full or a model deque is empty; an unlucky rule-choice sequence can
+# trip the filter_too_much health check even though the filtering is
+# the point of the model.
 TestVirtQueueStateful.settings = settings(
     max_examples=40, stateful_step_count=60, deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
 )

@@ -75,3 +75,34 @@ def test_ept_misconfig_dominates_profile():
     profile = exit_reason_profile(machine.stack)
     assert profile.get("EPT_MISCONFIG", 0) > profile.get("MSR_WRITE", 0) \
         or profile.get("EPT_MISCONFIG", 0) > 0.04
+
+
+def test_fast_queueing_loop_is_bit_identical_to_reference():
+    """The inlined-sampler fast loop replays the reference bit-for-bit."""
+    from repro.sim.rng import DeterministicRng
+
+    cfg = memcached.EtcConfig()
+    for seed in (1, 42, 9001):
+        for load in (5.0, 12.5, 22.5):
+            reference = memcached._queueing_run_reference(
+                2600.0, 5800.0, load, cfg,
+                DeterministicRng(seed).fork(f"t:{load}"), requests=6_000)
+            fast = memcached._queueing_run_fast(
+                2600.0, 5800.0, load, cfg,
+                DeterministicRng(seed).fork(f"t:{load}"), requests=6_000)
+            assert fast == reference
+
+
+def test_queueing_dispatch_falls_back_on_unsupported_shapes():
+    """Shapes the fast loop does not compile take the reference path."""
+    from repro.sim import kernel as simkernel
+    from repro.sim.rng import DeterministicRng
+
+    odd = memcached.EtcConfig(servers=3)
+    with simkernel.use_kernel(simkernel.SEGMENT):
+        dispatched = memcached._queueing_run(
+            2600.0, 5800.0, 10.0, odd, DeterministicRng(7),
+            requests=3_000)
+    reference = memcached._queueing_run_reference(
+        2600.0, 5800.0, 10.0, odd, DeterministicRng(7), requests=3_000)
+    assert dispatched == reference
