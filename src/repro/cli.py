@@ -19,6 +19,8 @@ set — nothing can be silently dropped.
     python -m repro run cpuid --profile        # cProfile a single cell
     python -m repro table1 --metrics metrics.json
     python -m repro bench --smoke     # perf harness -> BENCH_sim.json
+    python -m repro table1 --cost-model arm-flavour
+    python -m repro dse --smoke       # replay-based design-space sweep
 
 Results are cached under ``results/cache/`` keyed by (experiment,
 params, cost-model fingerprint, code version); ``--no-cache`` forces
@@ -30,6 +32,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.cpu import costmodels
 from repro.exp import registry, runner
 from repro.exp.cache import ResultCache, default_cache_dir
 from repro.exp.result import canonical_json
@@ -57,6 +60,11 @@ def build_parser():
                              "per-experiment)")
     parser.add_argument("--depth", type=int, default=None,
                         help="max nesting depth for 'deep' (default 5)")
+    parser.add_argument("--cost-model", default=None, metavar="NAME",
+                        choices=costmodels.model_names(),
+                        help="price every simulation under a registered "
+                             "cost model (default xeon-paper; see "
+                             f"{', '.join(costmodels.model_names())})")
     parser.add_argument("--json", action="store_true",
                         help="emit structured results as canonical JSON")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -132,6 +140,10 @@ def _cmd_run(argv):
     parser.add_argument("--iterations", type=int, default=50,
                         help="measured iterations (default 50; one "
                              "warm-up iteration is added)")
+    parser.add_argument("--cost-model", default=None, metavar="NAME",
+                        choices=costmodels.model_names(),
+                        help="price the run under a registered cost "
+                             "model (default xeon-paper)")
     parser.add_argument("--trace", type=Path, default=None,
                         metavar="PATH",
                         help="write a Chrome trace_event JSON to PATH")
@@ -166,7 +178,8 @@ def _cmd_run(argv):
 
     mode = ExecutionMode.validate(args.mode)
     observer = Observer()
-    machine = Machine(mode=mode, observer=observer)
+    machine = Machine(mode=mode, observer=observer,
+                      costs=args.cost_model)
     profiler = None
     if args.profile:
         import cProfile
@@ -312,6 +325,11 @@ def _cmd_bench(argv):
     parser.add_argument("--no-legacy", action="store_true",
                         help="skip the legacy-kernel timing (no "
                              "speedup column; faster run)")
+    parser.add_argument("--cost-model", default=None, metavar="NAME",
+                        choices=costmodels.model_names(),
+                        help="time the experiments under a registered "
+                             "cost model (default xeon-paper; also "
+                             "exercises model-id cache keys in CI)")
     parser.add_argument("--out", type=Path, default=None, metavar="PATH",
                         help="output document (default BENCH_sim.json "
                              "at the repo root)")
@@ -349,7 +367,10 @@ def _cmd_bench(argv):
 
     doc = bench.bench_document(names=names, sections=sections,
                                repeats=args.repeats,
-                               legacy=not args.no_legacy)
+                               legacy=not args.no_legacy,
+                               overrides={
+                                   "cost_model": args.cost_model,
+                               })
 
     out = args.out or bench.default_bench_path()
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -401,6 +422,12 @@ def main(argv=None):
     if argv[:1] == ["bench"]:
         # Same pattern: the perf harness has its own flag namespace.
         return _cmd_bench(argv[1:])
+    if argv[:1] == ["dse"]:
+        # Same pattern: the design-space driver sweeps cost-model
+        # parameters via trace replay (repro.exp.dse).
+        from repro.exp.dse import main as dse_main
+
+        return dse_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()
@@ -410,7 +437,7 @@ def main(argv=None):
     names = (registry.names() if args.experiment == "all"
              else [args.experiment])
     overrides = {"seed": args.seed, "iterations": args.iterations,
-                 "depth": args.depth}
+                 "depth": args.depth, "cost_model": args.cost_model}
     collect_metrics = args.metrics is not None
     # Cached results carry no metrics; force recomputation when asked
     # for a metrics dump so every cell actually runs under capture.

@@ -21,6 +21,7 @@ form, and :class:`DynamicPolicy` flips cores per epoch.
 
 from dataclasses import dataclass
 
+from repro.cpu import costmodels
 from repro.cpu.costs import CostModel
 from repro.errors import ConfigError
 
@@ -52,7 +53,8 @@ class CoexistConfig:
         if self.smt_yield <= 1.0:
             raise ConfigError("SMT yield must exceed a single thread")
         if self.costs is None:
-            object.__setattr__(self, "costs", CostModel())
+            object.__setattr__(self, "costs",
+                               costmodels.default_model())
 
 
 def useful_throughput(config, mode, trap_rate_per_s):

@@ -23,7 +23,7 @@ capabilities the paper weighs (migration, interposition, scaling).
 
 from dataclasses import dataclass
 
-from repro.cpu.costs import CostModel
+from repro.cpu import costmodels
 from repro.errors import ConfigError
 
 
@@ -80,7 +80,7 @@ def evaluate(shape=None, costs=None, sidecore_hop_ns=None):
     Returns ``{name: AlternativeResult}``.
     """
     shape = shape or IoOpShape()
-    costs = costs or CostModel()
+    costs = costmodels.resolve(costs)
     hop = (sidecore_hop_ns if sidecore_hop_ns is not None
            else costs.cacheline_transfer_core + costs.poll_iteration)
 

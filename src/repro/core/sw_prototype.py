@@ -20,7 +20,7 @@ Two things live here beyond what the switch engine already does:
 from dataclasses import dataclass, field
 
 from repro.core.channel import CommandKind, PairedChannels
-from repro.cpu.costs import CostModel
+from repro.cpu import costmodels
 from repro.errors import ChannelError, DeadlockError
 from repro.sim.engine import Simulator
 
@@ -99,7 +99,7 @@ class DeadlockScenario:
 
     def __init__(self, with_fix, costs=None, obs=None):
         self.with_fix = with_fix
-        self.costs = costs or CostModel()
+        self.costs = costmodels.resolve(costs)
         self.sim = Simulator()
         self.obs = obs
         if obs is not None:

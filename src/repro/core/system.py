@@ -27,7 +27,7 @@ from repro.config import paper_machine
 from repro.core.channel import PairedChannels
 from repro.core.mode import ExecutionMode
 from repro.core.switch import make_engine
-from repro.cpu.costs import CostModel
+from repro.cpu import costmodels
 from repro.cpu.interrupts import InterruptController
 from repro.cpu.isa import Op
 from repro.cpu.smt import SmtCore
@@ -101,7 +101,7 @@ class Machine:
         #: Instructions executed (stepped or segment-replayed) — the
         #: bench harness's instructions/sec numerator.
         self.instructions_retired = 0
-        self.costs = costs or CostModel()
+        self.costs = costmodels.resolve(costs)
         self.config = config or paper_machine()
         self.sim = Simulator()
         if observer is None:
@@ -225,8 +225,13 @@ class Machine:
         # The segment kernel batches charges, which would coarsen
         # per-instruction observability (span streams, kept trace
         # events); those paths keep the instruction-exact legacy loop.
+        # Tiny programs also step: compiling them costs more than the
+        # batched replay saves (segments.COMPILE_MIN_INSTRUCTIONS),
+        # and both paths are byte-identical by contract either way.
         fast = (self.kernel == simkernel.SEGMENT and self.obs is None
-                and not self.tracer.keep_events)
+                and not self.tracer.keep_events
+                and (len(program.instructions) * program.repeat
+                     >= segments.COMPILE_MIN_INSTRUCTIONS))
         with span:
             if fast:
                 count = self._run_segments(program, level)

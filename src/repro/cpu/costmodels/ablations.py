@@ -1,0 +1,37 @@
+"""Ablation-point models: single-axis perturbations of ``xeon-paper``.
+
+Where ``arm-flavour``/``riscv-flavour`` move many constants coherently,
+these move one axis at a time so a DSE sweep (or a test) can attribute
+a crossover to a single design lever:
+
+* ``fast-switch`` — what if explicit *and* lazy VM-switch costs nearly
+  vanished (aggressive tagged-state hardware)?  SVt's headroom shrinks.
+* ``slow-ring`` — what if the SW SVt command ring were expensive
+  (uncached device memory, slow wake IPIs)?  SW SVt loses to baseline.
+
+Every value is ``# synthetic:`` by construction.
+"""
+
+from repro.cpu.costmodels import register_model
+from repro.cpu.costs import CostModel
+
+FAST_SWITCH = register_model(CostModel().derived(
+    "fast-switch",
+    switch_l2_l0=200,        # synthetic: ~4x cheaper explicit switch
+    switch_l0_l1=340,        # synthetic: ~4x cheaper explicit switch
+    l0_lazy_switch=520,      # synthetic: ~4x cheaper lazy save/rest
+    l1_lazy_switch=210,      # synthetic: ~4x cheaper lazy save/rest
+    l0_lazy_direct=220,      # synthetic: scaled with l0_lazy_switch
+    l0_single_lazy=100,      # synthetic: scaled with l0_lazy_switch
+))
+
+SLOW_RING = register_model(CostModel().derived(
+    "slow-ring",
+    cacheline_transfer_smt=400,    # synthetic: uncached ring lines
+    cacheline_transfer_core=900,   # synthetic: uncached ring lines
+    cacheline_transfer_numa=4800,  # synthetic: uncached ring lines
+    mwait_wake=240,          # synthetic: deep-C-state exit latency
+    channel_per_reg_tenths=100,    # synthetic: 10 ns per payload reg
+    mutex_startup=3600,      # synthetic: contended futex block
+    mutex_wake=4400,         # synthetic: contended futex wake
+))

@@ -1,0 +1,34 @@
+"""``arm-flavour`` — a synthetic ARM-server-like calibration point.
+
+Not a measurement: a plausible what-if for a VHE-style ARM core, used
+to exercise the design space.  The shape follows public folklore about
+such cores relative to the paper's Xeon — world switches are cheaper
+(less VMCS-like state, no VMREAD/VMWRITE trapping in the common path),
+the event-wait primitive (WFE) wakes faster than x86 ``mwait``, and
+cross-socket transfers are pricier on the larger mesh.  Every value is
+``# synthetic:`` — calibrated against nothing, swept by ``repro dse``.
+"""
+
+from repro.cpu.costmodels import register_model
+from repro.cpu.costs import CostModel
+
+ARM_FLAVOUR = register_model(CostModel().derived(
+    "arm-flavour",
+    switch_l2_l0=560,        # synthetic: lighter world switch than Xeon
+    switch_l0_l1=980,        # synthetic: same ~0.7x scaling as L2<->L0
+    vmcs_transform=900,      # synthetic: smaller arch state to rewrite
+    l0_lazy_switch=1450,     # synthetic: ~0.7x of the Xeon lazy share
+    l1_lazy_switch=590,      # synthetic: ~0.7x of the Xeon lazy share
+    l0_lazy_direct=630,      # synthetic: scaled with l0_lazy_switch
+    l0_single_lazy=280,      # synthetic: scaled with l0_lazy_switch
+    svt_stall_resume=16,     # synthetic: slightly cheaper thread stall
+    cacheline_transfer_smt=64,    # synthetic: SMT-sibling line bounce
+    cacheline_transfer_core=190,  # synthetic: mesh hop on-package
+    cacheline_transfer_numa=1500,  # synthetic: cross-socket mesh
+    mwait_wake=45,           # synthetic: WFE wake beats mwait C1 exit
+    monitor_arm=15,          # synthetic: WFE arm is a bare instruction
+    poll_iteration=5,        # synthetic: load+compare spin step
+    mutex_startup=2100,      # synthetic: futex-equivalent block path
+    mutex_wake=2600,         # synthetic: scheduler wake, slower uncore
+    idle_wake=7000,          # synthetic: IPI + scheduler wake latency
+))

@@ -1,0 +1,34 @@
+"""``riscv-flavour`` — a synthetic in-order RISC-V calibration point.
+
+Inspired by CVA6-class cores with the hypervisor extension (see
+PAPERS.md): a small in-order pipeline where trap entry itself is cheap
+but the software paths around it run several times slower than on a
+wide Xeon, and there is no real SMT — the "sibling" placement models a
+tightly-coupled second hart.  Every value is ``# synthetic:`` — a
+sweepable what-if, not a measurement.
+"""
+
+from repro.cpu.costmodels import register_model
+from repro.cpu.costs import CostModel
+
+RISCV_FLAVOUR = register_model(CostModel().derived(
+    "riscv-flavour",
+    cpuid_guest_work=150,     # synthetic: ~3x slower scalar pipeline
+    switch_l2_l0=2400,        # synthetic: ~3x the Xeon switch in sw
+    switch_l0_l1=4100,        # synthetic: ~3x, CSR-heavy save/restore
+    vmcs_transform=3800,      # synthetic: vs-CSR shadow copy in sw
+    l0_lazy_switch=6100,      # synthetic: ~3x the Xeon lazy share
+    l1_lazy_switch=2500,      # synthetic: ~3x the Xeon lazy share
+    l0_lazy_direct=2700,      # synthetic: scaled with l0_lazy_switch
+    l0_single_lazy=1200,      # synthetic: scaled with l0_lazy_switch
+    svt_stall_resume=35,      # synthetic: simpler core, slower fetch
+    cacheline_transfer_smt=80,    # synthetic: shared-L1 hart pair
+    cacheline_transfer_core=240,  # synthetic: crossbar hop
+    cacheline_transfer_numa=2000,  # synthetic: off-chip interconnect
+    mwait_wake=90,            # synthetic: WFI wake + pipeline refill
+    monitor_arm=30,           # synthetic: reservation-set arm
+    poll_iteration=9,         # synthetic: load+branch spin step
+    mutex_startup=4200,       # synthetic: ~2.3x slower kernel path
+    mutex_wake=5100,          # synthetic: ~2.3x slower kernel path
+    idle_wake=14000,          # synthetic: software IPI + slow sched
+))

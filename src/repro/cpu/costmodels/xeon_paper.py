@@ -1,0 +1,14 @@
+"""``xeon-paper`` — the paper's calibrated Xeon model (the default).
+
+Every constant lives in :class:`repro.cpu.costs.CostModel` field
+defaults, each with its own ``# paper:`` citation (Table 1 is the
+anchor; see that module's docstring for the full derivation).  The
+registered instance *is* ``CostModel()``, so code that used to default-
+construct a model resolves to a bit-identical calibration.
+"""
+
+from repro.cpu.costmodels import register_model
+from repro.cpu.costs import CostModel
+
+# paper: Table 1 (all constants inherited from CostModel's defaults).
+XEON_PAPER = register_model(CostModel())

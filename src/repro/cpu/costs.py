@@ -198,6 +198,15 @@ class CostModel:
     pipeline_flush: int = 150      # paper: §4 (inside switch totals)
     memory_touch: int = 4          # paper: §6.1 (cache-hit access)
 
+    # -- identity -----------------------------------------------------------
+    # Stable name of the model these constants calibrate.  The default
+    # instance *is* the paper's Xeon (Table 1), so a bare ``CostModel()``
+    # and the registered ``xeon-paper`` model compare equal.  The id
+    # rides along in ``dataclasses.asdict`` and therefore in the segment
+    # cost fingerprints and the result-cache keys; the registry
+    # (:mod:`repro.cpu.costmodels`) validates and resolves it.
+    model_id: str = "xeon-paper"
+
     def __post_init__(self):
         for name in (
             "cpuid_guest_work", "switch_l2_l0", "switch_l0_l1",
@@ -208,6 +217,8 @@ class CostModel:
                 raise ConfigError(f"cost {name} must be non-negative")
         if not 0 <= self.poll_smt_interference < 1:
             raise ConfigError("poll_smt_interference must be in [0, 1)")
+        if not self.model_id or not isinstance(self.model_id, str):
+            raise ConfigError("model_id must be a non-empty string")
 
     # -- per-crossing halves ------------------------------------------------
 
@@ -286,5 +297,22 @@ class CostModel:
         )
 
     def with_overrides(self, **overrides):
-        """A copy with some constants replaced (ablation hook)."""
+        """A copy with some constants replaced (ablation hook).
+
+        ``model_id`` passes through unchanged unless overridden — the
+        copy is still "the xeon-paper model, perturbed".  Cache and
+        segment-memo identity come from the fingerprint over *all*
+        fields, never from the id alone, so two different perturbations
+        sharing an id can never alias.  Use :meth:`derived` to mint a
+        named variant.
+        """
         return dataclasses.replace(self, **overrides)
+
+    def derived(self, model_id, **overrides):
+        """A named variant: :meth:`with_overrides` plus a new id.
+
+        This is how the registry's synthetic models are built from the
+        calibrated base — e.g. ``CostModel().derived("fast-switch",
+        switch_l2_l0=200, ...)``.
+        """
+        return dataclasses.replace(self, model_id=model_id, **overrides)

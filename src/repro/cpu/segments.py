@@ -44,6 +44,15 @@ from repro.cpu.isa import Op
 #: legacy footprint is the `work_ns` charge.
 BATCHABLE = frozenset({Op.ALU, Op.PAUSE})
 
+#: Smallest dynamic instruction count (``len(instructions) * repeat``)
+#: worth compiling.  Below it the compile/memo/fingerprint overhead
+#: exceeds what batching saves — the one-shot ablation drivers run
+#: ~10-instruction programs where the segment kernel used to *lose* to
+#: the legacy loop (BENCH_sim.json, ablation_hw_model 0.95x) — so
+#: :meth:`repro.core.system.Machine.run_program` steps tiny programs
+#: through the legacy loop, which is byte-identical by contract.
+COMPILE_MIN_INSTRUCTIONS = 64
+
 #: Memo bound; a full wipe on overflow keeps the policy trivially
 #: deterministic (no LRU ordering state).
 _MEMO_MAX = 256

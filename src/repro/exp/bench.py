@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional
 
+from repro.cpu import costmodels
 from repro.exp import registry
 from repro.sim import kernel as simkernel
 
@@ -61,11 +62,11 @@ def default_bench_path() -> Path:
 def _resolve_params(experiment: registry.Experiment, smoke: bool,
                     overrides: Optional[Mapping[str, Any]],
                     ) -> dict[str, Any]:
-    params = dict(experiment.defaults)
+    params = experiment.all_defaults()
     if smoke:
         params.update(experiment.smoke)
     for key, value in (overrides or {}).items():
-        if key in experiment.defaults and value is not None:
+        if key in params and value is not None:
             params[key] = value
     return params
 
@@ -87,7 +88,8 @@ def _time_cells(experiment: registry.Experiment,
     cell_walls = {cell: float("inf") for cell in cells}
     events = 0
     instructions = 0
-    with simkernel.use_kernel(kernel):
+    with simkernel.use_kernel(kernel), \
+            costmodels.use_default(params.get("cost_model")):
         for _ in range(max(1, repeats)):
             total = 0.0
             with simkernel.collect_stats() as stats:

@@ -7,7 +7,10 @@ depends on —
 * the experiment name,
 * the resolved parameters (canonical JSON),
 * the cost-model fingerprint (any change to a default timing constant
-  invalidates every cached result),
+  invalidates every cached result), plus the ``model_id`` and constants
+  digest of the model the run actually prices under (the
+  ``cost_model`` parameter resolved through
+  :mod:`repro.cpu.costmodels`),
 * the code fingerprint (a content hash over every ``repro`` source
   module — edit any simulator file and the cache misses),
 * the kernel tag (engine generation + active simulation kernel, see
@@ -30,6 +33,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
+from repro.cpu import costmodels
 from repro.cpu.costs import CostModel
 from repro.exp.result import Result, canonical_json
 from repro.sim.kernel import kernel_tag
@@ -44,9 +48,21 @@ def default_cache_dir() -> Path:
     return Path(repro.__file__).resolve().parents[2] / "results" / "cache"
 
 
-def cost_model_fingerprint() -> str:
-    """Digest of every default timing constant."""
-    doc = dataclasses.asdict(CostModel())
+def cost_model_fingerprint(model: Optional[CostModel] = None) -> str:
+    """Digest of every timing constant of ``model`` (the registry's
+    default when omitted).  ``model_id`` is a field, so two models with
+    identical constants but different names fingerprint apart."""
+    doc = dataclasses.asdict(costmodels.resolve(model))
+    payload = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def registry_fingerprint() -> str:
+    """Digest over *every* registered model — any constant of any
+    model, or the registered set itself, changing invalidates keys
+    that fold this in."""
+    doc = {name: dataclasses.asdict(costmodels.get_model(name))
+           for name in costmodels.model_names()}
     payload = json.dumps(doc, sort_keys=True).encode()
     return hashlib.sha256(payload).hexdigest()[:16]
 
@@ -77,11 +93,17 @@ class ResultCache:
     # -- keys ------------------------------------------------------------
 
     def key(self, name: str, params: Mapping[str, Any]) -> str:
+        model = costmodels.resolve(params.get("cost_model"))
         material = json.dumps(
             {
                 "experiment": name,
                 "params": dict(params),
                 "cost_model": self._cost_fp,
+                # The model the run actually prices under: its stable
+                # id plus a digest of its constants, so renaming a
+                # model and perturbing one both miss.
+                "cost_model_id": model.model_id,
+                "cost_model_fp": cost_model_fingerprint(model),
                 "code": self._code_fp,
                 "kernel": kernel_tag(),
             },
@@ -120,6 +142,8 @@ class ResultCache:
             "experiment": name,
             "key": self.key(name, params),
             "params": dict(params),
+            "cost_model_id":
+                costmodels.resolve(params.get("cost_model")).model_id,
             "cost_model_fingerprint": self._cost_fp,
             "code_fingerprint": self._code_fp,
             "kernel": kernel_tag(),

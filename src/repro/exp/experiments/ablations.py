@@ -15,6 +15,7 @@ from typing import Any
 from repro.core.mode import ExecutionMode
 from repro.core.system import Machine
 from repro.cpu import isa
+from repro.cpu.costmodels import default_model
 from repro.cpu.costs import CostModel
 from repro.exp.registry import Experiment, register
 from repro.exp.result import Result, Row, Table
@@ -29,7 +30,7 @@ def with_lazy_fraction(fraction: float) -> CostModel:
     """CostModel treating ``fraction`` of Table-1 parts 3/5 as lazy."""
     l0_lazy = int(_PART3_NS * fraction)
     l1_lazy = int(_PART5_NS * fraction)
-    base = CostModel()
+    base = default_model()
     l0_pure = dict(base.l0_handler_pure)
     l1_pure = dict(base.l1_handler_pure)
     l0_pure["CPUID"] = _PART3_NS - l0_lazy

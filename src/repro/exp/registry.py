@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Optional, TypeVar
 
+from repro.cpu import costmodels
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:
@@ -34,6 +35,16 @@ if TYPE_CHECKING:
 
 _REGISTRY: dict[str, "Experiment"] = {}
 _LOADED = False
+
+#: Parameters *every* experiment accepts without declaring them.  The
+#: runner, the serial reference path and the bench harness install
+#: ``cost_model`` as the ambient default
+#: (:func:`repro.cpu.costmodels.use_default`) around each cell, so any
+#: machine a cell builds without an explicit ``costs=`` prices under
+#: the selected model.
+UNIVERSAL_DEFAULTS: dict[str, Any] = {
+    "cost_model": costmodels.DEFAULT_MODEL,
+}
 
 
 @dataclass(frozen=True)
@@ -70,17 +81,21 @@ class Experiment:
 
     # -- parameters ------------------------------------------------------
 
+    def all_defaults(self) -> dict[str, Any]:
+        """:data:`UNIVERSAL_DEFAULTS` merged under ``defaults``."""
+        return {**UNIVERSAL_DEFAULTS, **self.defaults}
+
     def resolve(self, overrides: Optional[Mapping[str, Any]] = None,
                 strict: bool = False) -> dict[str, Any]:
-        """Defaults merged with ``overrides``.
+        """Defaults (universal and declared) merged with ``overrides``.
 
         Unknown override keys are ignored unless ``strict`` (the CLI
         passes one shared namespace to every experiment; tests pass
         ``strict=True`` to catch typos).
         """
-        params = dict(self.defaults)
+        params = self.all_defaults()
         for key, value in (overrides or {}).items():
-            if key in self.defaults:
+            if key in params:
                 if value is not None:
                     params[key] = value
             elif strict:
@@ -105,11 +120,12 @@ class Experiment:
     def run(self, ctx: RunContext) -> Result:
         """Serial reference path: run every cell in order, then merge."""
         params = ctx.params_dict
-        payloads = {
-            cell: self.run_cell(cell, params)
-            for cell in self.cells(params)
-        }
-        return self.merge(params, payloads)
+        with costmodels.use_default(params.get("cost_model")):
+            payloads = {
+                cell: self.run_cell(cell, params)
+                for cell in self.cells(params)
+            }
+            return self.merge(params, payloads)
 
 
 _ExperimentClass = TypeVar("_ExperimentClass", bound="type[Experiment]")

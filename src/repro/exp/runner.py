@@ -21,6 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
+from repro.cpu import costmodels
 from repro.exp import registry
 from repro.exp.cache import ResultCache, code_fingerprint, \
     cost_model_fingerprint
@@ -139,12 +140,13 @@ def _execute_cell(name: str, cell: str, params: dict[str, Any],
     # results/runtime_smoke.json) and never enters a result document.
     started = time.perf_counter()  # svtlint: disable=SVT001
     snapshot: Optional[dict[str, Any]] = None
-    if collect_metrics:
-        with capture_metrics() as observer:
+    with costmodels.use_default(params.get("cost_model")):
+        if collect_metrics:
+            with capture_metrics() as observer:
+                payload = experiment.run_cell(cell, params)
+            snapshot = observer.metrics_snapshot()
+        else:
             payload = experiment.run_cell(cell, params)
-        snapshot = observer.metrics_snapshot()
-    else:
-        payload = experiment.run_cell(cell, params)
     took = time.perf_counter() - started  # svtlint: disable=SVT001
     return name, cell, payload, took, snapshot
 
@@ -180,11 +182,11 @@ def run_experiments(names: Iterable[str],
     finished: dict[str, ExperimentRun] = {}
     for name in names:
         experiment = registry.get(name)
-        params = dict(experiment.defaults)
+        params = experiment.all_defaults()
         if smoke:
             params.update(experiment.smoke)
         for key, value in (overrides or {}).items():
-            if key in experiment.defaults and value is not None:
+            if key in params and value is not None:
                 params[key] = value
         if cache is not None:
             report.cache_keys[name] = cache.key(name, params)
@@ -270,7 +272,7 @@ def runtime_smoke(names: Optional[Iterable[str]] = None, jobs: int = 4,
     per_experiment: dict[str, Any] = {}
     for run in serial.runs:
         experiment = registry.get(run.name)
-        smoke_params = {**experiment.defaults, **experiment.smoke}
+        smoke_params = {**experiment.all_defaults(), **experiment.smoke}
         per_experiment[run.name] = {
             "serial_s": round(run.seconds, 4),
             "parallel_cell_s": round(parallel_seconds[run.name], 4),

@@ -9,12 +9,20 @@ silently decays as the model evolves.  In ``repro/cpu/costs.py`` and
 * numeric values inside dict literals (the per-exit-reason handler
   tables),
 * numeric parameter defaults (``interrupt_wake_share=0.85``),
+* numeric keyword arguments in calls (the ``CostModel().derived(...)``
+  variant constructors),
 
 — must carry a ``# paper:`` comment naming a table, figure, section
 (``§``), algorithm or appendix.  A citation counts when it sits on the
 literal's own line, on a comment line directly above the literal (inside
 a dict), on the statement's first line, or in the comment block
 immediately above the statement (one citation may cover a whole dict).
+
+The registered variant models under ``repro/cpu/costmodels/`` are not
+all paper-calibrated: a constant there may instead carry a
+``# synthetic:`` comment with a non-empty rationale (*why* the variant
+deviates), so invented numbers are still reviewable — but the paper
+modules themselves accept only ``# paper:``.
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ from repro.lint.source import SourceFile
 
 MODULES = ("repro.cpu.costs", "repro.analysis.hw_model")
 
+#: Modules (by prefix) where ``# synthetic: <rationale>`` also counts.
+SYNTHETIC_PREFIX = "repro.cpu.costmodels"
+
 _PAPER_RE = re.compile(r"#\s*paper:", re.I)
+_SYNTH_RE = re.compile(r"#\s*synthetic:", re.I)
+#: A synthetic citation must say *why* the number deviates.
+_SYNTH_RATIONALE_RE = re.compile(r"#\s*synthetic:\s*[^\s#]", re.I)
 #: The citation must actually name an anchor in the paper.
 _ANCHOR_RE = re.compile(
     r"#\s*paper:[^#]*?("
@@ -60,16 +74,25 @@ class ProvenanceRule(Rule):
     title = "cost-model provenance"
 
     def applies(self, source: SourceFile) -> bool:
-        return source.module in MODULES
+        return (source.module in MODULES
+                or source.module.startswith(SYNTHETIC_PREFIX))
 
     # -- citation lookup -------------------------------------------------
+
+    @staticmethod
+    def _synthetic_ok(source: SourceFile) -> bool:
+        return source.module.startswith(SYNTHETIC_PREFIX)
 
     def _cited(self, source: SourceFile, line: int) -> Optional[bool]:
         """True: anchored citation; False: malformed; None: absent."""
         comment = source.comments.get(line)
-        if comment is None or not _PAPER_RE.search(comment):
+        if comment is None:
             return None
-        return bool(_ANCHOR_RE.search(comment))
+        if _PAPER_RE.search(comment):
+            return bool(_ANCHOR_RE.search(comment))
+        if self._synthetic_ok(source) and _SYNTH_RE.search(comment):
+            return bool(_SYNTH_RATIONALE_RE.search(comment))
+        return None
 
     def _block_cited(self, source: SourceFile,
                      below: int) -> Optional[bool]:
@@ -102,7 +125,13 @@ class ProvenanceRule(Rule):
         if False in statuses:
             ctx.report(self, literal,
                        f"citation for constant {value} must name a "
-                       "table/figure/section (e.g. '# paper: Table 1')")
+                       "table/figure/section (e.g. '# paper: Table 1')"
+                       + (" or give a '# synthetic:' rationale"
+                          if self._synthetic_ok(source) else ""))
+        elif self._synthetic_ok(source):
+            ctx.report(self, literal,
+                       f"timing constant {value} has no '# paper:' or "
+                       "'# synthetic:' citation")
         else:
             ctx.report(self, literal,
                        f"timing constant {value} has no '# paper:' "
@@ -126,6 +155,16 @@ class ProvenanceRule(Rule):
     def visit_Dict(self, node: ast.Dict, ctx: LintContext) -> None:
         for value in node.values:
             literal = _numeric_literal(value)
+            if literal is not None:
+                self._check(literal, ctx)
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        # The variant constructors (`CostModel().derived("arm-flavour",
+        # switch_l2_l0=560, ...)`) pass their constants as keyword
+        # arguments; positional numerics stay out of scope (loop bounds,
+        # rounding digits and similar incidental literals).
+        for keyword in node.keywords:
+            literal = _numeric_literal(keyword.value)
             if literal is not None:
                 self._check(literal, ctx)
 

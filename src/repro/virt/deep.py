@@ -18,6 +18,7 @@ hypervisor multiplexes levels once they outnumber hardware contexts
 
 from dataclasses import dataclass
 
+from repro.cpu import costmodels
 from repro.cpu.costs import CostModel
 from repro.errors import ConfigError
 
@@ -32,7 +33,8 @@ class DeepNestingModel:
 
     def __post_init__(self):
         if self.costs is None:
-            object.__setattr__(self, "costs", CostModel())
+            object.__setattr__(self, "costs",
+                               costmodels.default_model())
         if self.aux_per_reflection < 0:
             raise ConfigError("aux_per_reflection must be >= 0")
 

@@ -15,7 +15,7 @@ from repro.core.mode import ExecutionMode
 from repro.core.system import Machine
 from repro.core.wait import Placement, WaitMechanism, handoff
 from repro.cpu import isa
-from repro.cpu.costs import CostModel
+from repro.cpu import costmodels
 
 #: The five qualitative observations of §6.1, as short keys.
 OBSERVATIONS = (
@@ -45,7 +45,7 @@ class ChannelSweep:
 
 def sweep(costs=None, workloads=(0, 500, 2000, 10000, 50000, 200000)):
     """Full §6.1 grid with the five observations evaluated."""
-    costs = costs or CostModel()
+    costs = costmodels.resolve(costs)
     out = ChannelSweep()
     for mechanism in WaitMechanism.ALL:
         for placement in Placement.ALL:
@@ -93,7 +93,7 @@ def cpuid_with_mechanisms(costs=None, iterations=40):
     """Drive SW SVt with each wait mechanism (paper: polling "offers very
     little acceleration ... the mwait implementation offers a reduction
     of around 2 us (or 1.23x)")."""
-    costs = costs or CostModel()
+    costs = costmodels.resolve(costs)
     program = isa.Program([isa.cpuid()], repeat=iterations)
 
     baseline_machine = Machine(mode=ExecutionMode.BASELINE, costs=costs)

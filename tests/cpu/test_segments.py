@@ -96,6 +96,9 @@ def test_memo_keys_on_instruction_stream_not_program_identity():
 
 # -- machine parity --------------------------------------------------------
 
+#: All above ``COMPILE_MIN_INSTRUCTIONS`` dynamic instructions, so the
+#: segment kernel genuinely compiles and replays them (tiny programs
+#: fall back to the stepwise loop; see the dedicated tests below).
 PROGRAMS = {
     "alu-only": Program([isa.alu(100)] * 50, repeat=4),
     "mixed": Program([
@@ -104,10 +107,10 @@ PROGRAMS = {
         isa.alu(500),
         isa.wrmsr(MSR_TSC_DEADLINE, 40_000),
         isa.alu(125), Instruction(Op.PAUSE, work_ns=40),
-    ], repeat=6),
+    ], repeat=10),
     "trap-heavy": Program([
         isa.cpuid(leaf=0), isa.alu(10), isa.vmcall(number=1),
-    ], repeat=3),
+    ], repeat=22),
 }
 
 
@@ -134,8 +137,50 @@ def test_timer_event_mid_segment_matches_legacy():
         machine = Machine(mode=ExecutionMode.BASELINE, kernel=kernel)
         seen = []
         machine.sim.after(1_234, lambda: seen.append(machine.sim.now))
-        machine.run_program(Program([isa.alu(100)] * 40))
+        machine.run_program(Program([isa.alu(100)] * 80))
         return seen, machine.sim.now, machine.instructions_retired
+
+    assert run("segment") == run("legacy")
+
+
+# -- tiny-program fallback -------------------------------------------------
+
+
+def test_tiny_programs_skip_the_segment_compiler(monkeypatch):
+    """Below COMPILE_MIN_INSTRUCTIONS the machine steps the legacy
+    loop even under the segment kernel — compiling a one-shot
+    10-instruction program costs more than batching saves."""
+    def boom(*args, **kwargs):
+        raise AssertionError("tiny program reached compile_program")
+
+    monkeypatch.setattr(segments, "compile_program", boom)
+    machine = Machine(mode=ExecutionMode.BASELINE, kernel="segment")
+    small = Program([isa.cpuid()],
+                    repeat=segments.COMPILE_MIN_INSTRUCTIONS - 1)
+    machine.run_program(small)
+    assert machine.instructions_retired == small.repeat
+
+
+def test_threshold_sized_programs_still_compile(monkeypatch):
+    calls = []
+    real = segments.compile_program
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(segments, "compile_program", spy)
+    machine = Machine(mode=ExecutionMode.BASELINE, kernel="segment")
+    machine.run_program(Program(
+        [isa.alu(10)], repeat=segments.COMPILE_MIN_INSTRUCTIONS))
+    assert calls
+
+
+def test_tiny_program_results_match_legacy():
+    def run(kernel):
+        machine = Machine(mode=ExecutionMode.SW_SVT, kernel=kernel)
+        machine.run_program(Program([isa.cpuid()], repeat=10))
+        return machine.sim.now, dict(machine.tracer.totals)
 
     assert run("segment") == run("legacy")
 

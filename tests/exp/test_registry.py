@@ -67,22 +67,33 @@ def test_register_requires_name():
         register(Nameless)
 
 
+#: Parameters every experiment inherits without declaring them.
+UNIVERSAL = {"cost_model": "xeon-paper"}
+
+
 def test_resolve_merges_defaults(toy):
-    assert toy.resolve() == {"iterations": 3}
-    assert toy.resolve({"iterations": 9}) == {"iterations": 9}
+    assert toy.resolve() == {**UNIVERSAL, "iterations": 3}
+    assert toy.resolve({"iterations": 9}) \
+        == {**UNIVERSAL, "iterations": 9}
     # None means "not overridden" (the CLI's unset flags).
-    assert toy.resolve({"iterations": None}) == {"iterations": 3}
+    assert toy.resolve({"iterations": None}) \
+        == {**UNIVERSAL, "iterations": 3}
     # Undeclared keys are ignored by default (shared CLI namespace)...
-    assert toy.resolve({"seed": 5}) == {"iterations": 3}
+    assert toy.resolve({"seed": 5}) == {**UNIVERSAL, "iterations": 3}
     # ...and rejected in strict mode (tests catch typos).
     with pytest.raises(ConfigError, match="no parameter"):
         toy.resolve({"seed": 5}, strict=True)
 
 
+def test_resolve_accepts_universal_overrides(toy):
+    resolved = toy.resolve({"cost_model": "fast-switch"}, strict=True)
+    assert resolved == {"cost_model": "fast-switch", "iterations": 3}
+
+
 def test_run_composes_cells(toy):
     result = toy.run(RunContext.create(toy.resolve()))
     assert result.scalar("total") == 9
-    assert result.params_dict == {"iterations": 3}
+    assert result.params_dict == {**UNIVERSAL, "iterations": 3}
 
 
 def test_every_paper_experiment_is_registered():

@@ -1,0 +1,12 @@
+"""Fixture: variant model constants without provenance (SVT002)."""
+
+BASE_STALL = 20                      # no citation at all
+
+
+def build(model):
+    return model.derived(
+        "bad-flavour",
+        switch_l2_l0=560,            # synthetic:
+        svt_stall_resume=16,         # synthetic: slower custom fabric
+        mwait_wake=45,
+    )

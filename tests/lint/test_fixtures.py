@@ -15,7 +15,7 @@ def lint_tree(name):
 def test_bad_tree_yields_every_rule():
     by_rule = Counter(finding.rule for finding in lint_tree("bad"))
     assert by_rule == Counter(
-        {"SVT001": 8, "SVT002": 3, "SVT003": 4, "SVT004": 1,
+        {"SVT001": 8, "SVT002": 6, "SVT003": 4, "SVT004": 1,
          "SVT005": 2}
     )
 
@@ -45,6 +45,13 @@ def test_bad_tree_locations_are_exact():
         ("SVT002", 3),    # uncited module constant
         ("SVT002", 8),    # citation without an anchor
         ("SVT002", 12),   # uncited parameter default
+    ]
+    models = [(f.rule, f.line) for f in findings
+              if f.path.endswith("costmodels/flavour.py")]
+    assert models == [
+        ("SVT002", 3),    # uncited module constant
+        ("SVT002", 9),    # '# synthetic:' with no rationale
+        ("SVT002", 11),   # uncited keyword argument
     ]
 
 

@@ -99,3 +99,59 @@ def test_function_local_arithmetic_not_flagged():
 def test_only_cost_model_modules_in_scope():
     assert check("X = 810\n", module="repro.cpu.smt") == []
     assert check("X = 810\n", module="repro.exp.runner") == []
+
+
+# -- variant models (repro.cpu.costmodels) ---------------------------------
+
+VARIANT = "repro.cpu.costmodels.arm_flavour"
+
+
+def test_costmodels_package_is_in_scope():
+    findings = check("STALL = 16\n", module=VARIANT)
+    assert hits(findings) == [("SVT002", 1)]
+    assert "'# synthetic:'" in findings[0].message
+
+
+def test_synthetic_citation_satisfies_in_costmodels():
+    assert check(
+        "STALL = 16  # synthetic: slower custom fabric\n",
+        module=VARIANT) == []
+
+
+def test_synthetic_requires_a_rationale():
+    findings = check("STALL = 16  # synthetic:\n", module=VARIANT)
+    assert hits(findings) == [("SVT002", 1)]
+    assert "'# synthetic:' rationale" in findings[0].message
+
+
+def test_paper_citation_still_valid_in_costmodels():
+    assert check("STALL = 20  # paper: §4 stall/resume\n",
+                 module=VARIANT) == []
+
+
+def test_synthetic_not_accepted_in_paper_modules():
+    findings = check("STALL = 16  # synthetic: made up\n",
+                     module="repro.cpu.costs")
+    assert hits(findings) == [("SVT002", 1)]
+
+
+def test_derived_keyword_arguments_checked():
+    findings = check("""
+        MODEL = BASE.derived(
+            "arm-flavour",
+            switch_l2_l0=560,  # synthetic: lighter trap microcode
+            mwait_wake=45,
+        )
+    """, module=VARIANT)
+    assert hits(findings) == [("SVT002", 5)]
+
+
+def test_block_citation_covers_whole_derived_call():
+    assert check("""
+        # synthetic: every constant scaled for the slower fabric
+        MODEL = BASE.derived(
+            "arm-flavour",
+            switch_l2_l0=560,
+            mwait_wake=45,
+        )
+    """, module=VARIANT) == []
