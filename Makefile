@@ -51,5 +51,5 @@ lint:
 	fi
 
 clean:
-	rm -rf results/cache .pytest_cache
+	rm -rf results/cache .pytest_cache .svtlint_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

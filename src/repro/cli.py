@@ -455,9 +455,25 @@ def main(argv=None):
         print(f"cache: served {len(report.served)}, "
               f"computed {len(report.computed)} "
               f"({cache.root})", file=sys.stderr)
+    # Runtime-sanitizer verdict (REPRO_SIM_SANITIZE=1 runs only): the
+    # reports ride on stderr and flip the exit code, never the result
+    # document — byte-identity with the flag off is the contract.
+    exit_code = 0
+    from repro.sim import sanitizer as sim_sanitizer
+
+    if sim_sanitizer.enabled():
+        for line in report.sanitizer_reports:
+            print(line, file=sys.stderr)
+        if report.sanitizer_reports:
+            print(f"sanitizer: {len(report.sanitizer_reports)} "
+                  "conflicting unordered access(es)", file=sys.stderr)
+            exit_code = 1
+        else:
+            print("sanitizer: no conflicting unordered accesses",
+                  file=sys.stderr)
     if args.json:
         sys.stdout.write(report.to_json())
-        return 0
+        return exit_code
 
     from repro.analysis.report import render_result
 
@@ -467,7 +483,7 @@ def main(argv=None):
             print(f"\n=== {run.name}{cached} "
                   + "=" * max(1, 68 - len(run.name) - len(cached)))
         print(render_result(run.result))
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ChannelError
 from repro.faults.plan import FaultKind
+from repro.sim import sanitizer as _san
 
 
 class CommandKind:
@@ -130,6 +131,11 @@ class CommandRing:
         if len(self._entries) >= self.capacity:
             self.overflows += 1
             return False
+        if _san.ACTIVE is not None:
+            # A ring push is a sanctioned synchronization point: it
+            # orders every shared-state access before it against every
+            # access after the matching pop.
+            _san.ACTIVE.ordering_event("ring-push")
         now = self._now(now)
         command.seq = next(self._seq)
         command.enqueued_at = now
@@ -183,6 +189,8 @@ class CommandRing:
                 f"ring {self.name} empty "
                 f"(head delayed until t={head.visible_at})"
             )
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.ordering_event("ring-pop")
         self.popped += 1
         return self._entries.popleft()
 

@@ -38,6 +38,7 @@ from repro.faults.watchdog import Watchdog
 from repro.cpu import segments
 from repro.obs.observer import ambient as obs_ambient
 from repro.sim import kernel as simkernel
+from repro.sim import sanitizer
 from repro.sim.engine import Simulator
 from repro.sim.trace import Category, Tracer
 from repro.virt.exits import ExitInfo, ExitReason
@@ -113,6 +114,10 @@ class Machine:
             observer.bind(self.sim)
             self.sim.obs = observer
             self.tracer.observer = observer
+        # Runtime ordering sanitizer (REPRO_SIM_SANITIZE=1): observes
+        # shared-state accesses against the new machine's clock; a no-op
+        # global None when the flag is unset (repro.sim.sanitizer).
+        sanitizer.maybe_install(self._read_clock, observer)
 
         n_contexts = 3 if mode == ExecutionMode.HW_SVT else 2
         self.core = SmtCore(self.sim, self.costs, self.tracer,

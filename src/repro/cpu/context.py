@@ -2,6 +2,7 @@
 
 from repro.cpu.prf import RenameMap
 from repro.errors import VirtualizationError
+from repro.sim import sanitizer as _san
 
 
 class ContextState:
@@ -28,13 +29,22 @@ class HardwareContext:
     # -- register plumbing -------------------------------------------------
 
     def read(self, name):
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", name, "r",
+                               "HardwareContext.read")
         return self.registers.read(name)
 
     def write(self, name, value):
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", name, "w",
+                               "HardwareContext.write")
         self.registers.write(name, value)
 
     def load_state(self, arch_registers, owner_label=None):
         """Load a full architectural snapshot into this context."""
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", "*", "w",
+                               "HardwareContext.load_state")
         self.registers.load_snapshot(arch_registers)
         if owner_label is not None:
             self.owner_label = owner_label
@@ -42,10 +52,16 @@ class HardwareContext:
             self.state = ContextState.STALLED
 
     def extract_state(self):
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", "*", "r",
+                               "HardwareContext.extract_state")
         return self.registers.extract_snapshot()
 
     def release(self):
         """Tear the context down, freeing its PRF entries."""
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", "*", "w",
+                               "HardwareContext.release")
         self.registers.clear()
         self.state = ContextState.IDLE
         self.owner_label = None
@@ -55,6 +71,9 @@ class HardwareContext:
     def set_state(self, new_state):
         if new_state not in ContextState.ALL:
             raise VirtualizationError(f"unknown context state {new_state!r}")
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"ctx{self.index}", "state", "w",
+                               "HardwareContext.set_state")
         self.state = new_state
 
     @property

@@ -16,6 +16,7 @@ and interference problems (§3.4).
 from repro.cpu.context import ContextState, HardwareContext
 from repro.cpu.prf import PhysicalRegisterFile
 from repro.errors import VirtualizationError
+from repro.sim import sanitizer as _san
 from repro.sim.trace import Category
 
 #: Sentinel for "no context" in SVt_* registers (paper: "an invalid value").
@@ -121,6 +122,10 @@ class SmtCore:
         current.set_state(ContextState.STALLED)
         target.set_state(ContextState.RUNNING)
         self.svt_current = target_index
+        if _san.ACTIVE is not None:
+            # The stall/resume pair is itself a sanctioned ordering
+            # point between the two contexts' shared-state accesses.
+            _san.ACTIVE.ordering_event("ctx-switch")
         self.sim.charge(self.costs.svt_stall_resume)
         self.tracer.record(Category.STALL_RESUME, self.costs.svt_stall_resume)
         if self.obs is not None:

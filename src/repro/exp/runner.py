@@ -29,6 +29,7 @@ from repro.exp.result import Result, canonical_json
 from repro.obs.export import metrics_document
 from repro.obs.metrics import merge_snapshots
 from repro.obs.observer import capture_metrics
+from repro.sim import sanitizer
 
 #: Top-level schema of the ``--json`` document.
 DOCUMENT_SCHEMA = "repro-results/1"
@@ -58,6 +59,11 @@ class RunReport:
     cache_enabled: bool = False
     cache_keys: dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Rendered runtime-sanitizer reports (``REPRO_SIM_SANITIZE=1``
+    #: runs only; empty otherwise).  Deliberately NOT part of the
+    #: canonical result document — the flag must not change a byte of
+    #: output; the CLI surfaces these on stderr and exits nonzero.
+    sanitizer_reports: list[str] = field(default_factory=list)
 
     @property
     def results(self) -> dict[str, Result]:
@@ -124,7 +130,8 @@ class RunReport:
 
 def _execute_cell(name: str, cell: str, params: dict[str, Any],
                   collect_metrics: bool = False) \
-        -> tuple[str, str, Any, float, Optional[dict[str, Any]]]:
+        -> tuple[str, str, Any, float, Optional[dict[str, Any]],
+                 list[str]]:
     """Worker entry point: one cell in a fresh simulator.
 
     Module-level so it pickles; re-resolves the experiment through the
@@ -134,6 +141,11 @@ def _execute_cell(name: str, cell: str, params: dict[str, Any],
     builds adopts the capture observer, and its snapshot travels back
     with the payload.  The capture stack is per-process, so pool
     workers never share observer state.
+
+    Under ``REPRO_SIM_SANITIZE=1`` the cell's runtime-sanitizer reports
+    travel back rendered (strings pickle across the pool boundary);
+    draining per cell keeps attribution cell-accurate and resets the
+    process-global log between cells sharing a worker.
     """
     experiment = registry.get(name)
     # Wall-clock here is diagnostic only (ExperimentRun.seconds feeds
@@ -148,7 +160,9 @@ def _execute_cell(name: str, cell: str, params: dict[str, Any],
         else:
             payload = experiment.run_cell(cell, params)
     took = time.perf_counter() - started  # svtlint: disable=SVT001
-    return name, cell, payload, took, snapshot
+    violations = ([report.render() for report in sanitizer.drain()]
+                  if sanitizer.enabled() else [])
+    return name, cell, payload, took, snapshot, violations
 
 
 def run_experiments(names: Iterable[str],
@@ -214,20 +228,25 @@ def run_experiments(names: Iterable[str],
                 [c[2] for c in cells],
                 [collect_metrics] * len(cells),
             )
-            for name, cell, payload, took, snapshot in outcomes:
+            for name, cell, payload, took, snapshot, violations \
+                    in outcomes:
                 payloads[(name, cell)] = payload
                 seconds[name] = seconds.get(name, 0.0) + took
                 if snapshot is not None:
                     snapshots.setdefault(name, []).append(snapshot)
+                report.sanitizer_reports.extend(
+                    f"{name}/{cell}: {line}" for line in violations)
     else:
         for name, cell, params in cells:
-            _, _, payload, took, snapshot = _execute_cell(
+            _, _, payload, took, snapshot, violations = _execute_cell(
                 name, cell, params, collect_metrics
             )
             payloads[(name, cell)] = payload
             seconds[name] = seconds.get(name, 0.0) + took
             if snapshot is not None:
                 snapshots.setdefault(name, []).append(snapshot)
+            report.sanitizer_reports.extend(
+                f"{name}/{cell}: {line}" for line in violations)
 
     for name, experiment, params in plans:
         ordered = {
@@ -236,6 +255,11 @@ def run_experiments(names: Iterable[str],
         }
         result = experiment.merge(params, ordered)
         if cache is not None:
+            # svtlint: disable=SVT008 — approximation margin: the
+            # wall-clock taint rides _execute_cell's return *tuple*
+            # (took), never the payload element merged into the
+            # Result; cached bytes are proven schedule-independent by
+            # tests/exp/test_runner.py's determinism differentials.
             cache.store(name, params, result)
         metrics = None
         if collect_metrics:

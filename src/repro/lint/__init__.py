@@ -19,44 +19,84 @@ invariants behind those promises as machine-checked rules:
 * **SVT006** :mod:`repro.lint.fastpath` — per-instruction loops in the
   modelling packages charge time via ``sim.charge`` instead of the
   heap-draining ``sim.advance`` (justified suppressions as in SVT005).
+* **SVT007** :mod:`repro.lint.races` — whole-program sim-state race
+  detector: shared core state (``cpu.context``/``cpu.prf``/
+  ``virt.vmcs``/``core.channel``) must not be written from code
+  reachable from more than one simulated context without an
+  engine/channel/switch ordering call (lockset approximation over
+  :mod:`repro.lint.graph`).
+* **SVT008** :mod:`repro.lint.taint` — whole-program determinism
+  taint: entropy (wall clock, ``os.urandom``, env, ``id()``, set
+  order) must not flow into ``Result`` fields, cache fingerprints or
+  serialized artifacts (:mod:`repro.lint.dataflow`; ``sim.rng`` is
+  clean).
+* **SVT009** :mod:`repro.lint.stale` — meta-diagnostic: ``disable``
+  directives that no longer silence any finding are stale
+  (``--no-stale`` opts out).
 
 Run via ``python -m repro lint`` (see :mod:`repro.lint.cli`), ``make
-lint``, or programmatically through :func:`lint_paths`.  Suppress a
-deliberate exception inline with ``# svtlint: disable=SVT001`` (see
+lint``, or programmatically through :func:`lint_paths` /
+:func:`lint_tree`.  Per-file results are memoized in
+``.svtlint_cache/`` (:mod:`repro.lint.cache`).  Suppress a deliberate
+exception inline with ``# svtlint: disable=SVT001`` (see
 ``docs/static-analysis.md``).
 """
 
 from repro.lint.bounded import BoundedLoopRule
+from repro.lint.cache import LintCache, ruleset_fingerprint
 from repro.lint.cli import DEFAULT_RULES, main
 from repro.lint.determinism import DeterminismRule
 from repro.lint.engine import (
+    LintReport,
+    ProjectRule,
     Rule,
     lint_file,
     lint_paths,
     lint_source,
+    lint_tree,
 )
 from repro.lint.fastpath import FastPathRule
-from repro.lint.findings import Finding, findings_document
+from repro.lint.findings import (
+    Finding,
+    compute_stats,
+    findings_document,
+    render_stats_table,
+)
 from repro.lint.frozen import FrozenResultRule
+from repro.lint.graph import ProjectGraph
 from repro.lint.poolsafety import PoolSafetyRule
 from repro.lint.provenance import ProvenanceRule
+from repro.lint.races import SimStateRaceRule
 from repro.lint.source import SourceFile, module_name_for
+from repro.lint.stale import StaleSuppressionRule
+from repro.lint.taint import DeterminismTaintRule
 
 __all__ = [
     "BoundedLoopRule",
     "DEFAULT_RULES",
     "DeterminismRule",
+    "DeterminismTaintRule",
     "FastPathRule",
     "Finding",
     "FrozenResultRule",
+    "LintCache",
+    "LintReport",
     "PoolSafetyRule",
+    "ProjectGraph",
+    "ProjectRule",
     "ProvenanceRule",
     "Rule",
+    "SimStateRaceRule",
     "SourceFile",
+    "StaleSuppressionRule",
+    "compute_stats",
     "findings_document",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
     "main",
     "module_name_for",
+    "render_stats_table",
+    "ruleset_fingerprint",
 ]

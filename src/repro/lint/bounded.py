@@ -78,6 +78,9 @@ class BoundedLoopRule(Rule):
             return
         line = node.lineno
         if ctx.source.suppressed(line, self.rule_id):
+            # The directive is live either way (it silences the loop
+            # finding); record the hit so SVT009 never calls it stale.
+            ctx.note_suppressed(line, self.rule_id)
             if suppression_justified(ctx.source, line,
                                      MIN_JUSTIFICATION):
                 return

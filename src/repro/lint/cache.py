@@ -1,0 +1,229 @@
+"""Incremental lint cache under ``.svtlint_cache/``.
+
+``make lint`` runs on every push; most pushes touch a handful of
+files.  The cache memoizes, per file, everything the per-file pass
+produces (findings, suppression hits, the directive table — i.e. a
+:class:`~repro.lint.engine.FileRecord`) keyed by
+
+* the file's **content hash** (and its path, so identical content at
+  two paths cannot alias),
+* the **rule-set fingerprint** — a hash over the ``repro.lint``
+  package's own sources plus the active rule ids, so editing any rule
+  (or this module) invalidates everything.
+
+Whole-program passes cannot be memoized per file: SVT007's
+reachability depends on every edge in the batch.  Their results are
+cached under a **tree hash** (every file's path + content hash, in
+batch order) and invalidate when *any* file changes — the documented
+"graph change invalidates project passes" contract.
+
+Entries are standalone JSON files (``f-<key>.json`` /
+``p-<key>.json``); a corrupt, unreadable or version-skewed entry is
+treated as a miss and rewritten.  A fully warm run therefore only
+reads and hashes sources — it never parses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.lint.engine import FileRecord, Rule
+from repro.lint.findings import Finding
+from repro.lint.source import ALL_RULES, SuppressionDirective
+
+#: Bump when the entry layout changes; old entries become misses.
+CACHE_VERSION = "svtlint-cache/1"
+
+#: Default cache directory, relative to the invocation cwd.
+DEFAULT_CACHE_DIR = Path(".svtlint_cache")
+
+
+@lru_cache(maxsize=1)
+def _package_fingerprint() -> str:
+    """Hash of the ``repro.lint`` package's own sources."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def ruleset_fingerprint(rule_types: Iterable[type[Rule]]) -> str:
+    """Hash of the lint package sources + the active rule ids."""
+    digest = hashlib.sha256()
+    digest.update(_package_fingerprint().encode())
+    for cls in sorted(rule_types, key=lambda c: (c.rule_id,
+                                                 c.__name__)):
+        digest.update(f"{cls.rule_id}:{cls.__name__}".encode())
+    return digest.hexdigest()
+
+
+def _content_hash(path: str, text: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(path.encode())
+    digest.update(b"\x00")
+    digest.update(text.encode())
+    return digest.hexdigest()
+
+
+def _finding_to_list(finding: Finding) -> list[object]:
+    return [finding.path, finding.line, finding.col, finding.rule,
+            finding.message]
+
+
+def _finding_from_list(raw: list[object]) -> Finding:
+    path, line, col, rule, message = raw
+    return Finding(path=str(path), line=int(line), col=int(col),  # type: ignore[call-overload]
+                   rule=str(rule), message=str(message))
+
+
+def _directive_to_list(directive: SuppressionDirective) -> list[object]:
+    rules = (["*"] if directive.rules == ALL_RULES
+             else sorted(directive.rules))
+    return [directive.line, directive.target, rules]
+
+
+def _directive_from_list(raw: list[object]) -> SuppressionDirective:
+    line, target, rules = raw
+    rule_set = (ALL_RULES if rules == ["*"]
+                else frozenset(str(r) for r in rules))  # type: ignore[union-attr]
+    return SuppressionDirective(line=int(line), target=int(target),  # type: ignore[call-overload]
+                                rules=rule_set)
+
+
+class LintCache:
+    """Content-addressed memo of per-file and project lint results."""
+
+    def __init__(self, directory: Path = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        #: path -> content hash, remembered across get/put calls this
+        #: run so the project tree hash never re-reads a file.
+        self._seen: dict[str, str] = {}
+
+    # -- storage ---------------------------------------------------------
+
+    def _entry_path(self, prefix: str, key: str) -> Path:
+        return self.directory / f"{prefix}-{key[:40]}.json"
+
+    def _load(self, prefix: str, key: str) -> Optional[dict[str, object]]:
+        entry = self._entry_path(prefix, key)
+        try:
+            payload = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION):
+            return None
+        return payload
+
+    def _store(self, prefix: str, key: str,
+               payload: dict[str, object]) -> None:
+        payload["version"] = CACHE_VERSION
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self._entry_path(prefix, key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, entry)
+
+    # -- per-file pass ---------------------------------------------------
+
+    def _file_key(self, path: str, text: str,
+                  rule_types: Iterable[type[Rule]]) -> str:
+        content = _content_hash(path, text)
+        self._seen[path] = content
+        fingerprint = ruleset_fingerprint(rule_types)
+        return hashlib.sha256(
+            f"{content}:{fingerprint}".encode()).hexdigest()
+
+    def get_file(self, path: Path, text: str,
+                 rule_types: list[type[Rule]],
+                 ) -> Optional[FileRecord]:
+        payload = self._load("f", self._file_key(str(path), text,
+                                                 rule_types))
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            record = FileRecord(
+                path=str(payload["path"]),
+                module=str(payload["module"]),
+                parse_ok=bool(payload["parse_ok"]),
+                findings=[_finding_from_list(f)  # type: ignore[arg-type]
+                          for f in payload["findings"]],
+                hits={(int(line), str(rule))  # type: ignore[union-attr]
+                      for line, rule in payload["hits"]},
+                directives=tuple(
+                    _directive_from_list(d)  # type: ignore[arg-type]
+                    for d in payload["directives"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if record.path != str(path):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put_file(self, text: str, rule_types: list[type[Rule]],
+                 record: FileRecord) -> None:
+        self._store("f", self._file_key(record.path, text, rule_types), {
+            "path": record.path,
+            "module": record.module,
+            "parse_ok": record.parse_ok,
+            "findings": [_finding_to_list(f) for f in record.findings],
+            "hits": sorted([line, rule] for line, rule in record.hits),
+            "directives": [_directive_to_list(d)
+                           for d in record.directives],
+        })
+
+    # -- project pass ----------------------------------------------------
+
+    def _project_key(self, records: list[FileRecord],
+                     rules: list[Rule]) -> str:
+        digest = hashlib.sha256()
+        digest.update(ruleset_fingerprint(
+            [type(r) for r in rules]).encode())
+        for record in records:
+            content = self._seen.get(record.path, "")
+            digest.update(f"{record.path}:{content}\n".encode())
+        return digest.hexdigest()
+
+    def get_project(
+            self, records: list[FileRecord], rules: list[Rule],
+    ) -> Optional[tuple[list[Finding], dict[str, set[tuple[int, str]]]]]:
+        payload = self._load("p", self._project_key(records, rules))
+        if payload is None:
+            return None
+        try:
+            findings = [_finding_from_list(f)  # type: ignore[arg-type]
+                        for f in payload["findings"]]
+            hits = {
+                str(path): {(int(line), str(rule))
+                            for line, rule in path_hits}
+                for path, path_hits in
+                payload["hits"].items()  # type: ignore[union-attr]
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, hits
+
+    def put_project(
+            self, records: list[FileRecord], rules: list[Rule],
+            value: tuple[list[Finding], dict[str, set[tuple[int, str]]]],
+    ) -> None:
+        findings, hits = value
+        self._store("p", self._project_key(records, rules), {
+            "findings": [_finding_to_list(f) for f in findings],
+            "hits": {path: sorted([line, rule]
+                                  for line, rule in path_hits)
+                     for path, path_hits in hits.items()},
+        })

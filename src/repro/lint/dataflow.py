@@ -1,0 +1,371 @@
+"""Forward taint propagation over the project graph.
+
+SVT008 asks a whole-program question: *can a nondeterministic value
+reach a Result field, a cache fingerprint, or a serialized artifact?*
+This module provides the machinery; the rule supplies the sinks.
+
+The analysis is deliberately simple and deterministic:
+
+* **intra-procedural** — statements are interpreted in source order
+  with a variable -> taint-set environment; the body is evaluated
+  twice so loop-carried taint stabilizes, and sinks only fire on the
+  second pass;
+* **flow-through** — a call's result inherits the union of its
+  arguments' taints (``str(t)`` of a tainted ``t`` is tainted), with
+  two sanctioned laundering points: ``sorted()`` clears *set-order*
+  taint, and any call whose receiver names the seeded RNG (``rng``,
+  ``self.rng``, ``DeterministicRng(...)``) is clean by construction;
+* **inter-procedural** — per-function *returns-tainted* summaries are
+  iterated to a fixpoint over the call graph, applied only at calls
+  the graph resolves precisely (bare names through the import map and
+  ``self.method``), so CHA over-approximation cannot smear taint
+  across unrelated classes.
+
+Taint kinds are short strings (``"time.perf_counter"``,
+``"os.environ"``, ``"set-order"``, ...) carried with the line that
+introduced them, so findings can say both *what* leaked and *where it
+came from*.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.lint.graph import (FunctionInfo, ProjectGraph,
+                              _terminal_name)
+
+#: Wall-clock reads on the ``time`` module.
+TIME_FORBIDDEN = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "localtime", "gmtime", "ctime",
+    "asctime",
+})
+#: Wall-clock constructors on ``datetime`` / ``date``.
+DATETIME_FORBIDDEN = frozenset({"now", "utcnow", "today",
+                                "fromtimestamp"})
+#: ``random`` module members that are fine (seedable classes).
+RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+#: Modules whose every call yields entropy.
+ENTROPY_MODULES = frozenset({"secrets", "uuid"})
+
+#: The taint kind cleared by ``sorted()``.
+SET_ORDER = "set-order"
+
+SinkCallback = Callable[
+    [ast.Call, "list[frozenset[Taint]]", "dict[str, frozenset[Taint]]"],
+    None,
+]
+
+
+@dataclass(frozen=True, order=True)
+class Taint:
+    """One nondeterminism source flowing through the function."""
+
+    kind: str
+    line: int
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def call_source_kind(node: ast.Call) -> Optional[str]:
+    """The taint kind a call introduces, if it is an entropy source."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "id":
+            return "id()"
+        if func.id == "getenv":
+            return "os.environ"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        if base.id == "os":
+            if func.attr == "urandom":
+                return "os.urandom"
+            if func.attr in ("getenv", "getenvb"):
+                return "os.environ"
+        elif base.id == "time" and func.attr in TIME_FORBIDDEN:
+            return f"time.{func.attr}"
+        elif (base.id in ("datetime", "date")
+                and func.attr in DATETIME_FORBIDDEN):
+            return f"{base.id}.{func.attr}"
+        elif (base.id == "random"
+                and func.attr not in RANDOM_ALLOWED):
+            return f"random.{func.attr}"
+        elif base.id in ENTROPY_MODULES:
+            return f"{base.id}.{func.attr}"
+        elif base.id == "environ" and func.attr in ("get", "pop"):
+            return "os.environ"
+    # os.environ.get(...) — one attribute deeper.
+    if (isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "os" and base.attr == "environ"):
+        return "os.environ"
+    if (isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "datetime"
+            and func.attr in DATETIME_FORBIDDEN):
+        return "datetime." + func.attr
+    return None
+
+
+def _is_environ_read(node: ast.AST) -> bool:
+    """Bare ``os.environ`` attribute access (subscripts, membership)."""
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "os" and node.attr == "environ")
+
+
+def _rng_laundered(node: ast.Call) -> bool:
+    """Calls on the seeded RNG are clean by construction."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return "rng" in func.id.lower() or func.id == "DeterministicRng"
+    if isinstance(func, ast.Attribute):
+        receiver = _terminal_name(func.value)
+        return ("rng" in receiver.lower()
+                or "rng" in func.attr.lower()
+                or func.attr == "DeterministicRng")
+    return False
+
+
+class TaintEvaluator:
+    """Interpret one function body, tracking taint per local name."""
+
+    def __init__(self, graph: ProjectGraph, info: FunctionInfo,
+                 summaries: dict[str, frozenset[str]]) -> None:
+        self.graph = graph
+        self.info = info
+        self.summaries = summaries
+        self.env: dict[str, frozenset[Taint]] = {}
+        self.set_vars: set[str] = set()
+        self.returns: set[Taint] = set()
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self, on_call: Optional[SinkCallback] = None,
+            ) -> frozenset[str]:
+        """Two passes over the body; sinks fire on the second only."""
+        body = list(self.info.node.body)
+        self._exec_block(body, on_call=None)
+        self.returns.clear()
+        self._exec_block(body, on_call=on_call)
+        return frozenset(t.kind for t in self.returns)
+
+    # -- statements ------------------------------------------------------
+
+    def _exec_block(self, stmts: Iterable[ast.stmt],
+                    on_call: Optional[SinkCallback]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, on_call)
+
+    def _exec_stmt(self, stmt: ast.stmt,
+                   on_call: Optional[SinkCallback]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs are their own graph entries
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value, on_call)
+            for target in stmt.targets:
+                self._bind(target, taints, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target,
+                           self._eval(stmt.value, on_call), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value, on_call)
+            if isinstance(stmt.target, ast.Name):
+                merged = self.env.get(stmt.target.id,
+                                      frozenset()) | taints
+                self.env[stmt.target.id] = frozenset(merged)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns.update(self._eval(stmt.value, on_call))
+        elif isinstance(stmt, ast.For):
+            iter_taints = self._eval(stmt.iter, on_call)
+            if _is_set_expr(stmt.iter) or (
+                    isinstance(stmt.iter, ast.Name)
+                    and stmt.iter.id in self.set_vars):
+                iter_taints = iter_taints | {
+                    Taint(SET_ORDER, stmt.iter.lineno)}
+            self._bind(stmt.target, iter_taints, stmt.iter)
+            self._exec_block(stmt.body, on_call)
+            self._exec_block(stmt.orelse, on_call)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, on_call)
+            self._exec_block(stmt.body, on_call)
+            self._exec_block(stmt.orelse, on_call)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, on_call)
+            self._exec_block(stmt.body, on_call)
+            self._exec_block(stmt.orelse, on_call)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr, on_call)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints,
+                               item.context_expr)
+            self._exec_block(stmt.body, on_call)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, on_call)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, on_call)
+            self._exec_block(stmt.orelse, on_call)
+            self._exec_block(stmt.finalbody, on_call)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, on_call)
+
+    def _bind(self, target: ast.expr, taints: frozenset[Taint],
+              value: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taints, value)
+            return
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taints
+            if _is_set_expr(value):
+                self.set_vars.add(target.id)
+            else:
+                self.set_vars.discard(target.id)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taints, value)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # A store *into* a container/object taints the container:
+            # ``doc["host"] = os.environ[...]`` makes ``doc`` dirty, so
+            # a later ``canonical_json(doc)`` is a tainted sink.  Join
+            # (never replace) — other entries may already be dirty.
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name) and taints:
+                self.env[base.id] = (
+                    self.env.get(base.id, frozenset()) | taints)
+
+    # -- expressions -----------------------------------------------------
+
+    def _eval(self, node: ast.expr,
+              on_call: Optional[SinkCallback]) -> frozenset[Taint]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, on_call)
+        if _is_environ_read(node):
+            return frozenset({Taint("os.environ", node.lineno)})
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value, on_call)
+        if isinstance(node, ast.Subscript):
+            return (self._eval(node.value, on_call)
+                    | self._eval(node.slice, on_call))
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, on_call)
+            return (self._eval(node.body, on_call)
+                    | self._eval(node.orelse, on_call))
+        if isinstance(node, (ast.Lambda,)):
+            return frozenset()
+        out: set[Taint] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out.update(self._eval(child, on_call))
+            elif isinstance(child, (ast.comprehension, ast.keyword)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.expr):
+                        out.update(self._eval(sub, on_call))
+        return frozenset(out)
+
+    def _eval_call(self, node: ast.Call,
+                   on_call: Optional[SinkCallback]) -> frozenset[Taint]:
+        arg_taints = [self._eval(arg, on_call) for arg in node.args]
+        kw_taints = {kw.arg or "**": self._eval(kw.value, on_call)
+                     for kw in node.keywords}
+        if on_call is not None:
+            on_call(node, arg_taints, kw_taints)
+        kind = call_source_kind(node)
+        if kind is not None:
+            return frozenset({Taint(kind, node.lineno)})
+        if _rng_laundered(node):
+            return frozenset()
+        merged: set[Taint] = set()
+        for taints in arg_taints:
+            merged.update(taints)
+        for taints in kw_taints.values():
+            merged.update(taints)
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                merged = {t for t in merged if t.kind != SET_ORDER}
+            elif (func.id in ("list", "tuple", "iter", "enumerate",
+                              "reversed")
+                    and node.args and (
+                        _is_set_expr(node.args[0])
+                        or (isinstance(node.args[0], ast.Name)
+                            and node.args[0].id in self.set_vars))):
+                merged.add(Taint(SET_ORDER, node.lineno))
+        # Receiver taint flows through method calls.
+        if isinstance(func, ast.Attribute):
+            merged.update(self._eval(func.value, on_call))
+            if (func.attr == "join" and node.args
+                    and _is_set_expr(node.args[0])):
+                merged.add(Taint(SET_ORDER, node.lineno))
+        # Precisely-resolved callees contribute their return summary.
+        for callee in self._precise_callees(node):
+            for kind_name in sorted(self.summaries.get(callee,
+                                                       frozenset())):
+                merged.add(Taint(kind_name, node.lineno))
+        return frozenset(merged)
+
+    def _precise_callees(self, node: ast.Call) -> list[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.graph.resolve_name(self.info.module,
+                                               func.id)
+            if resolved is not None and resolved in self.graph.functions:
+                return [resolved]
+            return []
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self.info.cls is not None):
+            owner = self.graph.classes.get(self.info.cls)
+            if owner is not None and func.attr in owner.methods:
+                return [owner.methods[func.attr]]
+        return []
+
+
+class ProjectTaint:
+    """Fixpoint of returns-tainted summaries over the whole batch."""
+
+    #: Safety valve — the lattice is finite so this never binds in
+    #: practice, but a bound keeps pathological inputs linear.
+    MAX_PASSES = 10
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, frozenset[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        for _ in range(self.MAX_PASSES):
+            changed = False
+            for qualname in sorted(self.graph.functions):
+                info = self.graph.functions[qualname]
+                returns = TaintEvaluator(
+                    self.graph, info, self.summaries).run()
+                if returns != self.summaries.get(qualname, frozenset()):
+                    self.summaries[qualname] = returns
+                    changed = True
+            if not changed:
+                return
+
+    def evaluate(self, info: FunctionInfo,
+                 on_call: SinkCallback) -> None:
+        """Re-run one function with sinks armed."""
+        TaintEvaluator(self.graph, info, self.summaries).run(on_call)

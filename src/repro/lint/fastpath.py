@@ -92,6 +92,9 @@ class FastPathRule(Rule):
         if not self._in_loop(line):
             return
         if ctx.source.suppressed(line, self.rule_id):
+            # The directive is live either way (it silences the loop
+            # finding); record the hit so SVT009 never calls it stale.
+            ctx.note_suppressed(line, self.rule_id)
             if suppression_justified(ctx.source, line,
                                      MIN_JUSTIFICATION):
                 return

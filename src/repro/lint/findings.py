@@ -5,14 +5,30 @@ Findings are frozen dataclasses so rule code cannot mutate them after
 the fact, sort in stable ``(path, line, col, rule)`` order so output is
 deterministic regardless of rule execution order, and serialize to the
 ``--format json`` document.
+
+JSON schema (versioned; see docs/static-analysis.md):
+
+* ``svtlint/1`` — ``{schema, count, findings: [{path, line, col,
+  rule, message}]}``.
+* ``svtlint/2`` (current) — adds an optional ``stats`` object:
+  ``{rules: {RULE: {findings, suppressions, packages: {PKG:
+  {findings, suppressions}}}}, totals: {findings, suppressions}}``.
+  ``stats`` is present whenever the document comes from a full
+  :func:`~repro.lint.engine.lint_tree` run (the CLI always produces
+  it); *suppressions* counts directives that actually silenced a
+  finding, so it mirrors what SVT009 considers live.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, cast
+
+from repro.lint.source import module_name_for
 
 #: Version tag of the ``--format json`` document.
-JSON_SCHEMA = "svtlint/1"
+JSON_SCHEMA = "svtlint/2"
 
 
 @dataclass(frozen=True, order=True)
@@ -40,10 +56,87 @@ class Finding:
         }
 
 
-def findings_document(findings: list[Finding]) -> dict[str, object]:
-    """The ``--format json`` document for a batch of findings."""
+def package_of(module: str) -> str:
+    """The reporting package for a module: its first two components."""
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else module
+
+
+def compute_stats(
+        findings: list[Finding],
+        suppressions: Mapping[str, set[tuple[int, str]]],
+        modules: Mapping[str, str],
+) -> dict[str, object]:
+    """Findings and live suppressions per rule per package."""
+    per_rule: dict[str, dict[str, dict[str, int]]] = {}
+
+    def bucket(rule: str, package: str) -> dict[str, int]:
+        packages = per_rule.setdefault(rule, {})
+        return packages.setdefault(package,
+                                   {"findings": 0, "suppressions": 0})
+
+    def package_for(path: str) -> str:
+        module = modules.get(path) or module_name_for(Path(path))
+        return package_of(module)
+
+    for finding in findings:
+        bucket(finding.rule, package_for(finding.path))["findings"] += 1
+    total_suppressions = 0
+    for path in sorted(suppressions):
+        package = package_for(path)
+        for _line, rule in sorted(suppressions[path]):
+            bucket(rule, package)["suppressions"] += 1
+            total_suppressions += 1
+
+    rules: dict[str, object] = {}
+    for rule in sorted(per_rule):
+        packages = per_rule[rule]
+        rules[rule] = {
+            "findings": sum(p["findings"] for p in packages.values()),
+            "suppressions": sum(p["suppressions"]
+                                for p in packages.values()),
+            "packages": {name: dict(packages[name])
+                         for name in sorted(packages)},
+        }
     return {
+        "rules": rules,
+        "totals": {
+            "findings": len(findings),
+            "suppressions": total_suppressions,
+        },
+    }
+
+
+def render_stats_table(stats: Mapping[str, object]) -> str:
+    """The ``--stats`` text table."""
+    lines = [f"{'rule':<8} {'package':<24} {'findings':>8} "
+             f"{'suppressions':>12}"]
+    rules = cast("dict[str, Any]", stats["rules"])
+    for rule in sorted(rules):
+        packages = cast("dict[str, Any]", rules[rule]["packages"])
+        for package in sorted(packages):
+            counts = packages[package]
+            lines.append(
+                f"{rule:<8} {package:<24} "
+                f"{counts['findings']:>8} "
+                f"{counts['suppressions']:>12}")
+    totals = cast("dict[str, Any]", stats["totals"])
+    lines.append(f"{'total':<8} {'':<24} "
+                 f"{totals['findings']:>8} "
+                 f"{totals['suppressions']:>12}")
+    return "\n".join(lines)
+
+
+def findings_document(
+        findings: list[Finding],
+        stats: Optional[dict[str, object]] = None,
+) -> dict[str, object]:
+    """The ``--format json`` document for a batch of findings."""
+    document: dict[str, object] = {
         "schema": JSON_SCHEMA,
         "count": len(findings),
         "findings": [finding.to_dict() for finding in sorted(findings)],
     }
+    if stats is not None:
+        document["stats"] = stats
+    return document

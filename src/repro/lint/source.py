@@ -22,6 +22,7 @@ import ast
 import io
 import re
 import tokenize
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
@@ -31,6 +32,23 @@ _SUPPRESS_RE = re.compile(
 
 #: Sentinel rule set meaning "every rule".
 ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class SuppressionDirective:
+    """One inline ``# svtlint: disable`` comment.
+
+    ``line`` is the comment's own line; ``target`` is the code line the
+    directive covers (the same line for trailing comments, the next
+    code line for comment-only lines).  ``rules`` is the explicit rule
+    set or the :data:`ALL_RULES` sentinel for a bare ``disable``.  The
+    stale-suppression pass (SVT009) matches directives against the
+    suppressed-hit index the engine collects while rules run.
+    """
+
+    line: int
+    target: int
+    rules: frozenset[str]
 
 
 def module_name_for(path: Path) -> str:
@@ -108,6 +126,7 @@ class SourceFile:
         self.comments: dict[int, str] = {}
         self.comment_only_lines: set[int] = set()
         self._scan_tokens()
+        self.directives: tuple[SuppressionDirective, ...] = ()
         self._suppressions = self._build_suppressions()
         self._parents: Optional[dict[int, ast.AST]] = None
 
@@ -141,6 +160,7 @@ class SourceFile:
 
     def _build_suppressions(self) -> dict[int, frozenset[str]]:
         table: dict[int, frozenset[str]] = {}
+        directive_lines: dict[int, frozenset[str]] = {}
         for line, comment in self.comments.items():
             match = _SUPPRESS_RE.search(comment)
             if not match:
@@ -149,7 +169,9 @@ class SourceFile:
             rules = (frozenset(r.strip() for r in names.split(","))
                      if names else ALL_RULES)
             table[line] = table.get(line, frozenset()) | rules
+            directive_lines[line] = rules
         # A suppression on a comment-only line covers the next code line.
+        targets: dict[int, int] = {}
         for line in sorted(self.comment_only_lines):
             if line not in table:
                 continue
@@ -157,7 +179,14 @@ class SourceFile:
             while (target in self.comment_only_lines
                    or self.line_is_blank(target)):
                 target += 1
+            targets[line] = target
             table[target] = table.get(target, frozenset()) | table[line]
+        self.directives = tuple(sorted(
+            SuppressionDirective(line=line,
+                                 target=targets.get(line, line),
+                                 rules=rules)
+            for line, rules in directive_lines.items()
+        ))
         return table
 
     def suppressed(self, line: int, rule: str) -> bool:

@@ -110,6 +110,11 @@ class SpanRecorder:
     def open_depth(self) -> int:
         return len(self._stack)
 
+    def open_span_names(self) -> tuple:
+        """Names of the currently open spans, outermost first — the
+        attribution context the runtime sanitizer attaches to reports."""
+        return tuple(span.name for span in self._stack)
+
     def finished(self) -> List[Span]:
         """Finished spans in deterministic order: by start time, then
         outermost first (ties broken by recording order, which is itself

@@ -44,6 +44,7 @@ from sys import getrefcount
 
 from repro.errors import DeadlockError
 from repro.sim import kernel as _kernel
+from repro.sim import sanitizer as _san
 
 #: Freelist bound: enough to absorb timer churn, small enough that a
 #: pathological cancel storm cannot pin memory.
@@ -178,6 +179,11 @@ class Simulator:
     def _fire(self, head):
         """Run one due event's callback, optionally under a span."""
         self.events_fired += 1
+        if _san.ACTIVE is not None:
+            # Event dispatch is serialization by construction: the heap
+            # fires strictly in timestamp order, so everything before
+            # this fire happens-before the callback's accesses.
+            _san.ACTIVE.ordering_event("event-fire")
         obs = self.obs
         if obs is not None and obs.tracing:
             name = getattr(head.callback, "__qualname__",

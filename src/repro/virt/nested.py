@@ -21,6 +21,7 @@ from contextlib import nullcontext
 
 from repro.cpu.smt import INVALID_CONTEXT
 from repro.errors import VirtualizationError
+from repro.sim import sanitizer as _san
 from repro.sim.trace import Category
 from repro.virt.exits import ExitInfo, ExitReason
 from repro.virt.hypervisor import MSR_APIC_EOI, MSR_TSC_DEADLINE
@@ -36,6 +37,37 @@ _L0_INJECT_NUMER, _L0_INJECT_DENOM = 11, 20
 
 #: Reusable no-op context manager for the observability-off path.
 _NO_SPAN = nullcontext()
+
+
+def _enter_ctx(label):
+    """Tell the runtime sanitizer which simulated context executes now.
+
+    A label *change* here is always a sanctioned VM trap/resume
+    crossing (the same calls SVT007 lists in ``ORDERING_CALLS``), and
+    hardware serializes at that boundary — so the change doubles as a
+    happens-before edge.  Raw ``Sanitizer.set_context`` stays
+    non-ordering, which is what lets tests inject genuinely unordered
+    cross-context mutations.
+
+    Returns the previous label (for save/restore around nested windows)
+    or ``None`` when the sanitizer is off — a single global load on the
+    disabled path."""
+    san = _san.ACTIVE
+    if san is None:
+        return None
+    previous = san.context_label
+    if label != previous:
+        san.ordering_event("vm-crossing")
+        san.set_context(label)
+    return previous
+
+
+def _leave_ctx(previous):
+    san = _san.ACTIVE
+    if previous is not None and san is not None \
+            and previous != san.context_label:
+        san.ordering_event("vm-crossing")
+        san.set_context(previous)
 
 
 class NestedStack:
@@ -160,8 +192,10 @@ class NestedStack:
         if span is not None:
             span.__enter__()
         try:
+            _enter_ctx("L2")                       # hardware, on L2's behalf
             self.vmcs02.record_exit(exit_info)     # hardware exit-info
             self.engine.exit_l2_to_l0()            # line 2
+            _enter_ctx("L0")
 
             if self._l0_owns(exit_info):
                 self._handle_direct(exit_info, vcpu)
@@ -169,6 +203,7 @@ class NestedStack:
                 self._reflect_to_l1(exit_info, vcpu)
 
             self.engine.resume_l2()                # line 15
+            _enter_ctx("L2")
         finally:
             if span is not None:
                 span.__exit__(None, None, None)
@@ -227,6 +262,7 @@ class NestedStack:
 
         # Line 6: VM resume into L1.
         self.engine.enter_l1(exit_info, vcpu)
+        _enter_ctx("L1")
         self.engine.charge_l1_lazy()
 
         # Lines 7-11: L1 handles the trap (aux traps fire via the VMCS
@@ -241,6 +277,7 @@ class NestedStack:
 
         # Line 12: L1's VM resume traps back into L0.
         self.engine.leave_l1(vcpu)
+        _enter_ctx("L0")
 
         # Lines 13-14: load vmcs02, transform vmcs12 back into it.
         self.engine.load_vmcs(self.vmcs02)
@@ -279,12 +316,14 @@ class NestedStack:
         obs = self.obs
         with (obs.span(span_name, level=0, kind=kind)
               if obs is not None else _NO_SPAN):
+            previous = _enter_ctx("L0")
             self.engine.aux_exit_begin()
             self._charge(self.costs.l0_pure(kind), Category.L0_HANDLER)
             propagate = getattr(self.engine, "propagate_aux", None)
             if propagate is not None:
                 propagate(kind)
             self.engine.aux_exit_end()
+            _leave_ctx(previous)
         if obs is not None:
             obs.count("aux_exits_total", kind=kind)
 
@@ -302,8 +341,10 @@ class NestedStack:
         with (obs.span(f"l1_exit:{exit_info.reason}", level=0,
                        reason=exit_info.reason)
               if obs is not None else _NO_SPAN):
+            _enter_ctx("L1")                       # hardware, on L1's behalf
             self.vmcs01.record_exit(exit_info)
             self.engine.exit_l1_single()
+            _enter_ctx("L0")
             self.engine.charge_l0_single_lazy()
             self._charge(self.costs.l0_single(exit_info.reason),
                          Category.L0_HANDLER)
@@ -311,6 +352,7 @@ class NestedStack:
             self.l0.handle_exit(exit_info, self.l1_vm, vcpu, writer,
                                 self.vmcs01)
             self.engine.resume_l1_single()
+            _enter_ctx("L1")
         elapsed = self.sim.now - started
         self.exit_ns["L1:" + exit_info.reason] += elapsed
         self.exit_counts["L1:" + exit_info.reason] += 1

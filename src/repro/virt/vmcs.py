@@ -20,6 +20,7 @@ shadowing/transformation machinery applies to them unchanged.
 from dataclasses import dataclass
 
 from repro.errors import VmcsError
+from repro.sim import sanitizer as _san
 
 
 @dataclass(frozen=True)
@@ -146,12 +147,18 @@ class Vmcs:
 
     def read(self, field_name):
         FieldRegistry.get(field_name)
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"vmcs:{self.name}", field_name, "r",
+                               "Vmcs.read")
         return self._values.get(field_name, 0)
 
     def write(self, field_name, value, force=False):
         fld = FieldRegistry.get(field_name)
         if not fld.writable and not force:
             raise VmcsError(f"field {field_name} is read-only to software")
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"vmcs:{self.name}", field_name, "w",
+                               "Vmcs.write")
         self._values[field_name] = value
         self._dirty.add(field_name)
 
@@ -212,6 +219,9 @@ class Vmcs:
         detected corruption).  Changed fields are marked dirty so the
         vmcs12 -> vmcs02 transformation re-syncs them; returns them."""
         changed = self.diff(values)
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.record(f"vmcs:{self.name}", "*", "w",
+                               "Vmcs.restore")
         self._values = dict(values)
         self._dirty |= set(changed)
         return changed

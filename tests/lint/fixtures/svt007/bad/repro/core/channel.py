@@ -1,0 +1,17 @@
+"""Fixture shared-state class: a stand-in command ring.
+
+The module path matches ``SHARED_MODULES``, so ``reset`` (a self-field
+writer) becomes a tracked mutator.
+"""
+
+
+class CommandRing:
+
+    def __init__(self, name):
+        self.name = name
+        self.pushed = 0
+        self.popped = 0
+
+    def reset(self):
+        self.pushed = 0
+        self.popped = 0

@@ -1,0 +1,9 @@
+"""Fixture: the device-context caller that makes the handler's writes
+multi-context reachable."""
+
+from repro.virt.handler import poke_vmcs, reset_ring
+
+
+def complete(vmcs, ring):
+    poke_vmcs(vmcs)
+    reset_ring(ring)

@@ -1,0 +1,16 @@
+"""Fixture: shared-state writes reachable from two contexts with no
+ordering call on the path.
+
+``poke_vmcs`` / ``reset_ring`` are defined under ``repro.virt`` (the
+*hypervisor* context root) and also called from ``repro.io.device``
+(the *device* root) — and neither charges sim time nor routes through a
+switch/channel API, so both writes must flag SVT007.
+"""
+
+
+def poke_vmcs(vmcs):
+    vmcs.loaded = True                      # SVT007: attribute store
+
+
+def reset_ring(ring):
+    ring.reset()                            # SVT007: mutator call

@@ -1,0 +1,17 @@
+"""Fixture shared-state class: a stand-in Vmcs (module matches
+``SHARED_MODULES``)."""
+
+
+class Vmcs:
+
+    def __init__(self, name):
+        self.name = name
+        self.loaded = False
+        self.ept = None
+        self._values = {}
+
+    def write(self, field_name, value):
+        self._values[field_name] = value
+
+    def read(self, field_name):
+        return self._values.get(field_name, 0)

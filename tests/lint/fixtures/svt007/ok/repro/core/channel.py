@@ -1,0 +1,14 @@
+"""Fixture shared-state class (clean tree) — same ring as the bad
+tree's."""
+
+
+class CommandRing:
+
+    def __init__(self, name):
+        self.name = name
+        self.pushed = 0
+        self.popped = 0
+
+    def reset(self):
+        self.pushed = 0
+        self.popped = 0

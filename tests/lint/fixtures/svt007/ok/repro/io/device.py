@@ -1,0 +1,9 @@
+"""Fixture: device-context callers of the (properly ordered)
+handlers."""
+
+from repro.virt.handler import poke_vmcs, serviced
+
+
+def complete(sim, vmcs, ring):
+    poke_vmcs(sim, vmcs)
+    serviced(sim, ring)

@@ -1,0 +1,22 @@
+"""Fixture: the same multi-context-reachable writes as the bad tree,
+each ordered the sanctioned way — so SVT007 must stay quiet.
+
+``poke_vmcs`` charges sim time before writing (holds the "lock");
+``reset_ring`` is only ever called from inside a charged window
+(``serviced`` charges, then calls it), so it inherits protection
+caller-transitively.
+"""
+
+
+def poke_vmcs(sim, vmcs):
+    sim.charge(5)                           # ordering call in the body
+    vmcs.loaded = True
+
+
+def reset_ring(ring):
+    ring.reset()
+
+
+def serviced(sim, ring):
+    sim.charge(7)
+    reset_ring(ring)

@@ -1,0 +1,44 @@
+"""Fixture: entropy flowing into Result bytes and cache fingerprints.
+
+Each marked line is a taint *sink* — the source lines above it are
+where the entropy enters.  SVT001 flags the sources too; the SVT008
+tests lint this tree with only the taint rule enabled so the
+assertions stay focused.
+"""
+
+import os
+import time
+
+
+def build_result():
+    stamp = time.time()                     # wall clock enters here
+    return RunResult(stamp)                 # SVT008: Result constructor
+
+
+def fingerprint_entries(entries):
+    order = list(set(entries))              # set order enters here
+    return make_fingerprint(order)          # SVT008: fingerprint call
+
+
+def serialize(doc):
+    doc["host"] = os.environ["HOST"]        # env read enters here
+    return canonical_json(doc)              # SVT008: serialized artifact
+
+
+def store(cache, params):
+    salt = id(params)                       # id() enters here
+    cache.store("exp", salt)                # SVT008: cache entry
+
+
+class RunResult:
+
+    def __init__(self, value):
+        self.value = value
+
+
+def make_fingerprint(parts):
+    return "|".join(str(part) for part in parts)
+
+
+def canonical_json(doc):
+    return str(doc)

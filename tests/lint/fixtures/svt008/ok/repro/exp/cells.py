@@ -1,0 +1,31 @@
+"""Fixture: the clean counterparts — sim-rng values, sorted sets and
+laundered iteration orders may flow into Results and fingerprints."""
+
+
+def build_result(machine):
+    sample = machine.rng.random()           # sim.rng-derived: clean
+    return RunResult(sample)
+
+
+def fingerprint_entries(entries):
+    order = sorted(set(entries))            # sorted(): order laundered
+    return make_fingerprint(order)
+
+
+def serialize(doc, params):
+    doc["seed"] = params["seed"]            # plain data
+    return canonical_json(doc)
+
+
+class RunResult:
+
+    def __init__(self, value):
+        self.value = value
+
+
+def make_fingerprint(parts):
+    return "|".join(str(part) for part in parts)
+
+
+def canonical_json(doc):
+    return str(doc)

@@ -1,0 +1,71 @@
+"""SVT009: stale-suppression detection and its opt-outs."""
+
+from repro.lint.cli import main as lint_main
+from repro.lint.cli import select_rules
+from repro.lint.engine import lint_tree
+
+from tests.lint.helpers import hits
+
+
+def plant(tmp_path, text):
+    pkg = tmp_path / "repro" / "exp"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "planted.py").write_text(text)
+    return tmp_path
+
+
+def run(root, spec=None, stale=True):
+    return lint_tree([root], select_rules(spec, stale=stale))
+
+
+def test_stale_explicit_directive_is_flagged(tmp_path):
+    root = plant(tmp_path,
+                 "VALUE = 1  # svtlint: disable=SVT001\n")
+    assert hits(run(root).findings) == [("SVT009", 1)]
+
+
+def test_covered_directive_is_quiet(tmp_path):
+    root = plant(tmp_path,
+                 "import random\n"
+                 "JITTER = random.random()  # svtlint: disable=SVT001\n")
+    assert run(root).findings == []
+
+
+def test_stale_bare_disable_is_flagged_on_complete_runs(tmp_path):
+    root = plant(tmp_path, "VALUE = 1  # svtlint: disable\n")
+    assert hits(run(root).findings) == [("SVT009", 1)]
+
+
+def test_comment_only_directive_targets_the_next_code_line(tmp_path):
+    root = plant(tmp_path,
+                 "import random\n"
+                 "# svtlint: disable=SVT001\n"
+                 "JITTER = random.random()\n")
+    assert run(root).findings == []
+
+
+def test_partial_runs_never_mass_report(tmp_path):
+    root = plant(tmp_path,
+                 "A = 1  # svtlint: disable\n"
+                 "B = 2  # svtlint: disable=SVT001\n"
+                 "C = 3  # svtlint: disable=SVT002\n")
+    # --rules SVT002,SVT009: the bare disable is skipped (incomplete
+    # run), disable=SVT001 is skipped (SVT001 did not run), and only
+    # disable=SVT002 is judged — and found stale.
+    findings = run(root, spec="SVT002,SVT009").findings
+    assert hits(findings) == [("SVT009", 3)]
+
+
+def test_no_stale_opts_out(tmp_path):
+    root = plant(tmp_path, "VALUE = 1  # svtlint: disable=SVT001\n")
+    assert run(root, stale=False).findings == []
+    assert lint_main([str(root), "--no-stale", "--no-cache"]) == 0
+    assert lint_main([str(root), "--no-cache"]) == 1
+
+
+def test_svt009_is_not_itself_suppressible(tmp_path):
+    # A disable=SVT009 directive silences nothing (the stale pass
+    # bypasses the suppression index by design), so it is itself
+    # reported stale.
+    root = plant(tmp_path, "VALUE = 1  # svtlint: disable=SVT009\n")
+    assert hits(run(root).findings) == [("SVT009", 1)]

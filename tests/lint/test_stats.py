@@ -1,0 +1,85 @@
+"""``--stats``: the per-rule/per-package summary and its JSON form."""
+
+import json
+
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import (Finding, JSON_SCHEMA, compute_stats,
+                                 render_stats_table)
+
+
+def finding(path, line, rule):
+    return Finding(path=path, line=line, col=1, rule=rule, message="m")
+
+
+FINDINGS = [
+    finding("src/repro/exp/runner.py", 3, "SVT001"),
+    finding("src/repro/exp/cache.py", 7, "SVT001"),
+    finding("src/repro/virt/vmcs.py", 2, "SVT007"),
+]
+SUPPRESSIONS = {
+    "src/repro/exp/runner.py": {(10, "SVT001"), (20, "SVT008")},
+}
+MODULES = {
+    "src/repro/exp/runner.py": "repro.exp.runner",
+    "src/repro/exp/cache.py": "repro.exp.cache",
+    "src/repro/virt/vmcs.py": "repro.virt.vmcs",
+}
+
+
+def test_compute_stats_buckets_by_rule_and_package():
+    stats = compute_stats(FINDINGS, SUPPRESSIONS, MODULES)
+    assert stats["totals"] == {"findings": 3, "suppressions": 2}
+    svt001 = stats["rules"]["SVT001"]
+    assert svt001["findings"] == 2
+    assert svt001["suppressions"] == 1
+    assert svt001["packages"]["repro.exp"] == {
+        "findings": 2, "suppressions": 1}
+    assert stats["rules"]["SVT007"]["packages"] == {
+        "repro.virt": {"findings": 1, "suppressions": 0}}
+    assert stats["rules"]["SVT008"]["findings"] == 0
+
+
+def test_stats_fall_back_to_path_derived_modules():
+    stats = compute_stats(FINDINGS, SUPPRESSIONS, {})
+    assert "repro.exp" in stats["rules"]["SVT001"]["packages"]
+
+
+def test_render_stats_table_shape():
+    table = render_stats_table(
+        compute_stats(FINDINGS, SUPPRESSIONS, MODULES))
+    lines = table.splitlines()
+    assert lines[0].split() == ["rule", "package", "findings",
+                                "suppressions"]
+    assert lines[-1].split() == ["total", "3", "2"]
+    assert any(line.split()[:2] == ["SVT001", "repro.exp"]
+               for line in lines)
+
+
+def plant(tmp_path):
+    pkg = tmp_path / "repro" / "exp"
+    pkg.mkdir(parents=True)
+    (pkg / "planted.py").write_text(
+        "import random\n"
+        "JITTER = random.random()\n"
+        "SEED = random.random()  # svtlint: disable=SVT001\n")
+    return tmp_path
+
+
+def test_cli_stats_table(tmp_path, capsys):
+    root = plant(tmp_path)
+    assert lint_main([str(root), "--stats", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "SVT001" in out and "repro.exp" in out
+    assert "total" in out
+
+
+def test_json_document_carries_versioned_stats(tmp_path, capsys):
+    root = plant(tmp_path)
+    assert lint_main([str(root), "--format", "json",
+                      "--no-cache"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == JSON_SCHEMA == "svtlint/2"
+    stats = doc["stats"]
+    assert stats["rules"]["SVT001"]["findings"] == 1
+    assert stats["rules"]["SVT001"]["suppressions"] == 1
+    assert stats["totals"]["findings"] == doc["count"]
