@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-smoke dse lint clean
+.PHONY: test smoke bench bench-smoke dse fuzz fuzz-smoke lint clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,20 @@ bench-smoke:
 # results/dse_frontier.json crossover-frontier artifact.
 dse:
 	$(PYTHON) -m repro dse
+
+# Differential fuzzing (docs/fuzzing.md): seed-deterministic guest
+# programs run across every mode x kernel with the oracle suite armed.
+# `fuzz` is the developer campaign; `fuzz-smoke` is CI's gate — a
+# 25-run clean campaign, a bug-calibration campaign that must find and
+# shrink a violation, and a replay of every committed counterexample.
+fuzz:
+	$(PYTHON) -m repro fuzz --seed 2019 --jobs 4
+
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seed 2019 --runs 25 --jobs 4
+	$(PYTHON) -m repro fuzz --seed 2019 --runs 5 --ops 12 \
+		--bug drop-redirect --expect-violation > /dev/null
+	$(PYTHON) -m repro fuzz --corpus tests/fuzz/corpus
 
 # Three gates, strictest first.  svtlint ships with the repo and always
 # runs; ruff and mypy are optional in the offline evaluation image and

@@ -422,6 +422,12 @@ def main(argv=None):
     if argv[:1] == ["bench"]:
         # Same pattern: the perf harness has its own flag namespace.
         return _cmd_bench(argv[1:])
+    if argv[:1] == ["fuzz"]:
+        # Same pattern: the differential fuzz campaign has its own
+        # flag namespace (--seed/--runs/--shrink/--corpus/...).
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     if argv[:1] == ["dse"]:
         # Same pattern: the design-space driver sweeps cost-model
         # parameters via trace replay (repro.exp.dse).

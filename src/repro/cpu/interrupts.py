@@ -53,6 +53,13 @@ class InterruptController:
     def clear_redirect(self):
         self._redirect_target = None
 
+    @property
+    def redirect_target(self):
+        """The context external interrupts steer to (``None`` when
+        unredirected) — observable so steering checks need not poke
+        the private field."""
+        return self._redirect_target
+
     def add_observer(self, callback):
         """``callback(context_index, vector)`` runs on every delivery —
         used by wait loops (mwait) to wake on interrupts."""

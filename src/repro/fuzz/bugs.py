@@ -1,0 +1,64 @@
+"""Deliberately broken fixture machines for oracle calibration.
+
+A fuzzer whose oracles never fire is indistinguishable from one that
+checks nothing, so the campaign driver (and the acceptance tests) runs
+a slice of seeds against these *known-bad* machines and requires each
+oracle to catch its bug.  ``apply`` mutates a freshly booted
+:class:`~repro.sim.system.Machine` before any guest work runs.
+
+Both bugs only have meaning on HW_SVT — they sabotage the SVt steering
+machinery — and are deliberate no-ops elsewhere, which also exercises
+the report plumbing for "violation on one mode only".
+"""
+
+from repro.core.mode import ExecutionMode
+from repro.cpu.smt import INVALID_CONTEXT
+from repro.errors import ConfigError
+
+
+def _drop_redirect(machine):
+    """Forget to steer external interrupts to L0's context.
+
+    Boot redirects every external vector to context 0 (the paper's
+    single interrupt-owning context); clearing that means vectors
+    raised at contexts 1/2 are delivered there and never acknowledged
+    by the drain loop — the steering and drain oracles both fire.
+    """
+    if machine.mode == ExecutionMode.HW_SVT:
+        machine.interrupts.clear_redirect()
+
+
+def _svt_clobber(machine):
+    """Corrupt the ``svt_nested`` field in vmcs01 — L0's handle on
+    L2's hardware context.
+
+    The HW engine re-caches its SVt micro-registers from vmcs01 at
+    every L2 exit, so poisoning the *field* (rather than the live
+    micro-register, which the next reload would silently repair) makes
+    the first handler that touches L2's registers resolve its
+    ctxtld/ctxtst through ``INVALID_CONTEXT`` and fault — the crash
+    oracle fires, and the case shrinks to a single trapping op.
+    """
+    if machine.mode == ExecutionMode.HW_SVT:
+        machine.stack.vmcs01.write("svt_nested", INVALID_CONTEXT)
+
+
+_BUGS = {
+    "drop-redirect": _drop_redirect,
+    "svt-clobber": _svt_clobber,
+}
+
+
+def names():
+    return tuple(sorted(_BUGS))
+
+
+def apply(name, machine):
+    """Arm bug ``name`` on ``machine`` (no-op machine for other modes)."""
+    try:
+        arm = _BUGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fuzz bug {name!r}; known: {', '.join(names())}"
+        ) from None
+    arm(machine)

@@ -1,0 +1,118 @@
+"""``fuzzcase/1`` — the stable on-disk counterexample format.
+
+A committed corpus file is a permanent regression test, so the format
+is versioned and forward-checked: :func:`load_case` raises
+:class:`CaseSchemaError` on a schema-version mismatch (the corpus
+pytest runner turns that into a skip-with-reason, never a collection
+error).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.exp.result import canonical_json
+from repro.faults.plan import FaultPlan
+from repro.fuzz.ops import FuzzOp
+
+#: The current (and only) corpus schema.
+SCHEMA = "fuzzcase/1"
+
+
+class CaseSchemaError(Exception):
+    """A corpus file's schema version is not the one this tree reads."""
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible fuzz program plus its environment.
+
+    ``bug`` names a deliberately-broken fixture machine from
+    :mod:`repro.fuzz.bugs` (or ``None`` for a stock machine); for a
+    committed counterexample ``oracle`` records which oracle the case
+    was shrunk against, so replay can assert the *same* violation
+    still fires.
+    """
+
+    seed: int
+    ops: tuple
+    fault_plan: FaultPlan = None
+    bug: str = None
+    oracle: str = ""
+    note: str = ""
+    meta: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "ops", tuple(self.ops))
+        object.__setattr__(
+            self, "meta", tuple(sorted(dict(self.meta).items()))
+        )
+
+    def with_ops(self, ops, **meta):
+        merged = dict(self.meta)
+        merged.update(meta)
+        return FuzzCase(seed=self.seed, ops=tuple(ops),
+                        fault_plan=self.fault_plan, bug=self.bug,
+                        oracle=self.oracle, note=self.note,
+                        meta=tuple(merged.items()))
+
+    def with_oracle(self, oracle, note=""):
+        return FuzzCase(seed=self.seed, ops=self.ops,
+                        fault_plan=self.fault_plan, bug=self.bug,
+                        oracle=oracle, note=note or self.note,
+                        meta=self.meta)
+
+    def to_dict(self):
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "ops": [op.to_dict() for op in self.ops],
+            "fault_plan": (None if self.fault_plan is None
+                           else self.fault_plan.to_dict()),
+            "bug": self.bug,
+            "oracle": self.oracle,
+            "note": self.note,
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self):
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, doc):
+        schema = doc.get("schema")
+        if schema != SCHEMA:
+            raise CaseSchemaError(
+                f"unsupported fuzz-case schema {schema!r} "
+                f"(this tree reads {SCHEMA!r})"
+            )
+        plan = doc.get("fault_plan")
+        if plan is not None:
+            plan = FaultPlan(
+                seed=plan["seed"], rate=plan["rate"],
+                rates=tuple(plan["rates"].items()),
+                delay_ns=plan["delay_ns"],
+                spurious_per_us=plan["spurious_per_us"],
+                max_spurious=plan["max_spurious"],
+            )
+        return cls(
+            seed=doc["seed"],
+            ops=tuple(FuzzOp.from_dict(op) for op in doc["ops"]),
+            fault_plan=plan,
+            bug=doc.get("bug"),
+            oracle=doc.get("oracle", ""),
+            note=doc.get("note", ""),
+            meta=tuple(sorted(doc.get("meta", {}).items())),
+        )
+
+
+def load_case(path):
+    """Read one corpus file; :class:`CaseSchemaError` on a version
+    mismatch, ``ValueError`` on malformed JSON."""
+    import json
+
+    return FuzzCase.from_dict(json.loads(path.read_text()))
+
+
+def save_case(path, case):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(case.to_json())
+    return path

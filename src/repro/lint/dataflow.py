@@ -126,15 +126,21 @@ def _is_environ_read(node: ast.AST) -> bool:
 
 
 def _rng_laundered(node: ast.Call) -> bool:
-    """Calls on the seeded RNG are clean by construction."""
+    """Calls on the seeded RNG are clean by construction.
+
+    ``derive_stream`` is ``repro.fuzz``'s labelled-fork constructor —
+    a pure function of ``(seed, label)`` wrapping ``DeterministicRng``
+    — so its streams launder exactly like ``sim.rng`` itself.
+    """
     func = node.func
     if isinstance(func, ast.Name):
-        return "rng" in func.id.lower() or func.id == "DeterministicRng"
+        return ("rng" in func.id.lower()
+                or func.id in ("DeterministicRng", "derive_stream"))
     if isinstance(func, ast.Attribute):
         receiver = _terminal_name(func.value)
         return ("rng" in receiver.lower()
                 or "rng" in func.attr.lower()
-                or func.attr == "DeterministicRng")
+                or func.attr in ("DeterministicRng", "derive_stream"))
     return False
 
 

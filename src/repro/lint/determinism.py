@@ -8,7 +8,8 @@ every pool worker), wall-clock reads, environment variables, CPython
 allocation addresses (``id()``), or set iteration order (hash-seed
 dependent for str keys).
 
-Flagged under ``repro.exp``, ``repro.sim`` and ``repro.workloads``:
+Flagged under ``repro.exp``, ``repro.fuzz``, ``repro.obs``,
+``repro.sim`` and ``repro.workloads``:
 
 * module-level ``random.*`` calls and ``from random import ...`` of
   anything but the seedable ``Random``/``SystemRandom`` classes — use a
@@ -32,7 +33,8 @@ import ast
 from repro.lint.engine import LintContext, Rule, package_scoped
 from repro.lint.source import SourceFile
 
-PACKAGES = ("repro.exp", "repro.obs", "repro.sim", "repro.workloads")
+PACKAGES = ("repro.exp", "repro.fuzz", "repro.obs", "repro.sim",
+            "repro.workloads")
 
 _RANDOM_ALLOWED = {"Random", "SystemRandom"}
 _TIME_FORBIDDEN = {

@@ -1,0 +1,20 @@
+"""Fixture: nondeterminism in fuzz-generation code.
+
+``repro.fuzz`` promises byte-identical campaigns from a seed, so
+SVT001's scope covers it: ambient randomness, wall clock and set order
+must each be flagged here exactly as they are under ``repro.exp``.
+"""
+
+import random
+import time
+
+
+def generate(seed, n_ops):
+    ops = []
+    for _ in range(n_ops):
+        kind = random.choice(("alu", "cpuid"))  # SVT001 unseeded random
+        jitter = time.time()                    # SVT001 wall clock
+        ops.append((kind, jitter))
+    for kind in {"irq", "hlt"}:                 # SVT001 set iteration
+        ops.append((kind, 0))
+    return ops

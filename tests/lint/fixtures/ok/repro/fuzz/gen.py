@@ -1,0 +1,19 @@
+"""Fixture: seed-derived fuzz streams launder like ``sim.rng``.
+
+``derive_stream`` is a pure function of ``(seed, label)`` wrapping
+:class:`~repro.sim.rng.DeterministicRng`; draws from it may flow into
+``canonical_json`` without any determinism-taint finding.
+"""
+
+from repro.exp.result import canonical_json
+from repro.fuzz.gen import derive_stream
+from repro.sim.rng import DeterministicRng
+
+
+def generate(seed, n_ops):
+    kind_rng = derive_stream(seed, "kinds")
+    sizes = DeterministicRng(seed).fork("sizes")
+    ops = [(kind_rng.choice(("alu", "cpuid", "irq")),
+            sizes.randint(1, 64))
+           for _ in range(n_ops)]
+    return canonical_json({"seed": seed, "ops": ops})

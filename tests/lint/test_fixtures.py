@@ -15,9 +15,23 @@ def lint_tree(name):
 def test_bad_tree_yields_every_rule():
     by_rule = Counter(finding.rule for finding in lint_tree("bad"))
     assert by_rule == Counter(
-        {"SVT001": 8, "SVT002": 6, "SVT003": 4, "SVT004": 1,
+        {"SVT001": 11, "SVT002": 6, "SVT003": 4, "SVT004": 1,
          "SVT005": 2}
     )
+
+
+def test_fuzz_package_is_svt001_scoped():
+    """repro.fuzz is inside SVT001's scope, and its seed-derived
+    streams (``derive_stream``) launder exactly like ``sim.rng``."""
+    fuzz = [(f.rule, f.line) for f in lint_tree("bad")
+            if f.path.endswith("fuzz/gen.py")]
+    assert fuzz == [
+        ("SVT001", 15),   # random.choice()
+        ("SVT001", 16),   # time.time()
+        ("SVT001", 18),   # set iteration
+    ]
+    assert not [f for f in lint_tree("ok")
+                if f.path.endswith("fuzz/gen.py")]
 
 
 def test_bad_tree_locations_are_exact():
