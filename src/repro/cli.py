@@ -434,6 +434,18 @@ def main(argv=None):
         from repro.exp.dse import main as dse_main
 
         return dse_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # Same pattern: the long-lived experiment service
+        # (repro.serve) has its own flag namespace.
+        from repro.serve.cli import main_serve
+
+        return main_serve(argv[1:])
+    if argv[:1] == ["loadtest"]:
+        # Same pattern: the deterministic serve-tier load test and
+        # BENCH_serve.json regression gate.
+        from repro.serve.cli import main_loadtest
+
+        return main_loadtest(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _cmd_list()

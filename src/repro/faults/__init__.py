@@ -11,11 +11,13 @@ See ``docs/robustness.md`` for the fault taxonomy and recovery
 contracts.
 """
 
+from repro.faults.backoff import BackoffPolicy
 from repro.faults.injector import FaultInjector, VmcsCorruption
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.faults.watchdog import DegradeEvent, Watchdog
 
 __all__ = [
+    "BackoffPolicy",
     "DegradeEvent",
     "FaultInjector",
     "FaultKind",

@@ -18,6 +18,8 @@ doubles per strike, and caps an order of magnitude later.
 
 from dataclasses import dataclass
 
+from repro.faults.backoff import BackoffPolicy
+
 
 @dataclass(frozen=True)
 class DegradeEvent:
@@ -65,6 +67,12 @@ class Watchdog:
             raise ValueError("max_backoff_ns must be >= timeout_ns")
         if max_strikes < 1:
             raise ValueError(f"max_strikes must be >= 1: {max_strikes}")
+        #: The schedule itself, shared with every other retry path
+        #: (the serve supervisor reuses the same policy object shape).
+        self.policy = BackoffPolicy(
+            base_ns=timeout_ns, factor=backoff_factor,
+            cap_ns=max_backoff_ns, max_attempts=max_strikes,
+        )
         self.timeout_ns = timeout_ns
         self.backoff_factor = backoff_factor
         self.max_backoff_ns = max_backoff_ns
@@ -87,8 +95,7 @@ class Watchdog:
 
     def backoff_ns(self, strike):
         """Backoff before retry number ``strike`` (0-based), bounded."""
-        return min(self.timeout_ns * self.backoff_factor ** strike,
-                   self.max_backoff_ns)
+        return self.policy.delay_ns(strike)
 
     def strike(self):
         """Record one failed wait; returns the backoff to charge."""

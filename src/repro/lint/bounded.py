@@ -5,9 +5,12 @@ wait in ``repro.core`` either recovers, degrades, or raises a structured
 :class:`~repro.errors.DeadlockError` — never hangs.  That guarantee is
 only as strong as the loops underneath it: a retry/drain loop with no
 watchdog, cycle budget, or deadline can spin forever the moment a fault
-plan (or a bug) starves its exit condition.
+plan (or a bug) starves its exit condition.  The serve tier
+(``repro.serve``, docs/serving.md) makes the same promise to its
+clients — per-request deadlines and capped crash retries — so it is
+held to the same rule.
 
-The rule flags every ``while`` statement under ``repro.core`` whose
+The rule flags every ``while`` statement under a ``PACKAGES`` tree whose
 test *and* body mention no budget-ish identifier (``watchdog``,
 ``budget``, ``deadline``, ``limit``, ``strike``, ``timeout``, ...; see
 ``BUDGET_TOKENS``).  Loops that are structurally bounded for a subtler
@@ -29,7 +32,7 @@ import ast
 from repro.lint.engine import LintContext, Rule, package_scoped
 from repro.lint.source import SourceFile, suppression_justified
 
-PACKAGES = ("repro.core",)
+PACKAGES = ("repro.core", "repro.serve")
 
 #: Substrings whose presence in an identifier marks the loop as guarded
 #: by some finite resource (case-insensitive).

@@ -36,8 +36,13 @@ from repro.lint.source import SourceFile
 
 MODULES = ("repro.cpu.costs", "repro.analysis.hw_model")
 
-#: Modules (by prefix) where ``# synthetic: <rationale>`` also counts.
-SYNTHETIC_PREFIX = "repro.cpu.costmodels"
+#: Modules (by prefix) where ``# synthetic: <rationale>`` also counts:
+#: the registered variant cost models, and the shared backoff policy
+#: whose schedule constants are engineering choices, not measurements.
+SYNTHETIC_PREFIXES = ("repro.cpu.costmodels", "repro.faults.backoff")
+
+#: Backwards-compatible alias (PR 6 name, single-prefix era).
+SYNTHETIC_PREFIX = SYNTHETIC_PREFIXES[0]
 
 _PAPER_RE = re.compile(r"#\s*paper:", re.I)
 _SYNTH_RE = re.compile(r"#\s*synthetic:", re.I)
@@ -75,13 +80,13 @@ class ProvenanceRule(Rule):
 
     def applies(self, source: SourceFile) -> bool:
         return (source.module in MODULES
-                or source.module.startswith(SYNTHETIC_PREFIX))
+                or source.module.startswith(SYNTHETIC_PREFIXES))
 
     # -- citation lookup -------------------------------------------------
 
     @staticmethod
     def _synthetic_ok(source: SourceFile) -> bool:
-        return source.module.startswith(SYNTHETIC_PREFIX)
+        return source.module.startswith(SYNTHETIC_PREFIXES)
 
     def _cited(self, source: SourceFile, line: int) -> Optional[bool]:
         """True: anchored citation; False: malformed; None: absent."""

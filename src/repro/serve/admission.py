@@ -1,0 +1,76 @@
+"""Bounded admission gate — the CommandRing ``try_push`` idiom, HTTP'd.
+
+The SW SVt command ring (:class:`repro.core.channel.CommandRing`)
+never blocks a producer: ``try_push`` either claims a slot or returns
+``False`` and counts an overflow, and the *caller* decides how to
+retry.  The serve tier front door works the same way: admission is a
+non-raising ``try_push`` against a fixed capacity, a full gate is a
+counted rejection the service turns into ``429 Retry-After``, and
+nothing ever waits inside the gate itself.
+
+The gate is the one piece of serve state shared between the client
+(event-loop) side and the supervisor threads, so every transition is
+lock-ordered and exposed only through the ``try_push``/``release``
+ordering API — svtlint's SVT007 flags any direct write to gate fields
+from multi-context code.
+
+``reject_streak`` is the overload signal: it counts *consecutive*
+rejections (any admit resets it), so a sustained streak of at least
+one full capacity means clients are arriving faster than the pool
+drains — the service's cue to start shedding tiers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from repro.errors import ConfigError
+
+
+class AdmissionQueue:
+    """Bounded in-flight request gate with backpressure counters."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.depth = 0
+        self.high_water = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.reject_streak = 0
+        self._lock = threading.Lock()
+
+    def try_push(self) -> bool:
+        """Claim one in-flight slot; ``False`` (counted) when full."""
+        with self._lock:
+            if self.depth >= self.capacity:
+                self.rejected_total += 1
+                self.reject_streak += 1
+                return False
+            self.depth += 1
+            self.admitted_total += 1
+            self.reject_streak = 0
+            if self.depth > self.high_water:
+                self.high_water = self.depth
+            return True
+
+    def release(self) -> None:
+        """Return a slot claimed by a successful :meth:`try_push`."""
+        with self._lock:
+            if self.depth <= 0:
+                raise ConfigError("release() without a matching admit")
+            self.depth -= 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready gate state (deterministic key order)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "depth": self.depth,
+                "high_water": self.high_water,
+                "admitted": self.admitted_total,
+                "rejected": self.rejected_total,
+                "reject_streak": self.reject_streak,
+            }

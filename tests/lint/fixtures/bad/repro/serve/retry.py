@@ -1,0 +1,12 @@
+"""SVT005 positive cases: unbounded loops in the serve tier."""
+
+
+def respawn(pool):
+    while True:
+        pool.spawn_worker()
+
+
+def await_reply(conn):
+    # svtlint: disable=SVT005
+    while not conn.poll():
+        pass

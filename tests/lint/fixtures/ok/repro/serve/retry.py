@@ -1,0 +1,16 @@
+"""SVT005 negative cases: serve-tier loops with deadlines/budgets."""
+
+
+def respawn(pool, max_restarts=4):
+    while pool.down:
+        if max_restarts <= 0:
+            raise RuntimeError("restart budget exhausted")
+        max_restarts -= 1
+        pool.spawn_worker()
+
+
+def await_reply(conn, clock, deadline):
+    while clock.now < deadline:
+        if conn.poll():
+            return True
+    return False

@@ -1,0 +1,23 @@
+"""Fixture shared-state class: a stand-in admission gate (module
+matches ``SHARED_MODULES``)."""
+
+
+class AdmissionGate:
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.depth = 0
+        self.high_water = 0
+
+    def try_push(self):
+        if self.depth >= self.capacity:
+            return False
+        self.depth += 1
+        return True
+
+    def release(self):
+        self.depth -= 1
+
+    def clear(self):
+        self.depth = 0
+        self.high_water = 0

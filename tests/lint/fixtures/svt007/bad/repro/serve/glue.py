@@ -1,0 +1,16 @@
+"""Fixture: serve-tier gate accesses reachable from two contexts with
+no ordering call on the path.
+
+``bump_gate`` / ``clear_gate`` are shared by ``repro.serve.http`` (the
+*serve-client* root) and ``repro.serve.pool`` (the *serve-worker*
+root) — and neither routes through the gate's locked ``try_push`` /
+``release`` API, so both accesses must flag SVT007.
+"""
+
+
+def bump_gate(gate):
+    gate.high_water = gate.depth            # SVT007: attribute store
+
+
+def clear_gate(gate):
+    gate.clear()                            # SVT007: mutator call

@@ -1,0 +1,8 @@
+"""Fixture: the serve-client context root (connection handlers)."""
+
+from repro.serve.glue import bump_gate, clear_gate
+
+
+def handle(gate):
+    bump_gate(gate)
+    clear_gate(gate)

@@ -1,0 +1,13 @@
+"""Fixture: the serve-worker context root (supervisor threads).
+
+``repro.serve.pool`` is itself an ordering module, so ``dispatch`` is
+protected — but the glue helpers it shares with the HTTP root still
+have an unprotected caller, so *they* are not.
+"""
+
+from repro.serve.glue import bump_gate, clear_gate
+
+
+def dispatch(gate):
+    bump_gate(gate)
+    clear_gate(gate)

@@ -1,0 +1,23 @@
+"""Fixture: the same multi-context-reachable gate accesses, each
+ordered the sanctioned way — so SVT007 must stay quiet.
+
+``bump_gate`` claims a slot through the locked ``try_push`` (an
+ordering call) before touching the gate; ``clear_gate`` is only ever
+called from inside ``drained`` (which orders via ``release``), so it
+inherits protection caller-transitively.
+"""
+
+
+def bump_gate(gate):
+    if not gate.try_push():                 # ordering call in the body
+        return
+    gate.high_water = gate.depth
+
+
+def clear_gate(gate):
+    gate.clear()
+
+
+def drained(gate):
+    gate.release()                          # ordering call in the body
+    clear_gate(gate)

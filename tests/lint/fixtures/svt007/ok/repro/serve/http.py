@@ -1,0 +1,8 @@
+"""Fixture: serve-client root driving the properly ordered helpers."""
+
+from repro.serve.glue import bump_gate, drained
+
+
+def handle(gate):
+    bump_gate(gate)
+    drained(gate)

@@ -1,0 +1,9 @@
+"""Fixture: serve-worker root (also an ordering module) driving the
+same helpers."""
+
+from repro.serve.glue import bump_gate, drained
+
+
+def dispatch(gate):
+    bump_gate(gate)
+    drained(gate)

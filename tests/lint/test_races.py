@@ -16,16 +16,22 @@ def race_findings(tree):
 def test_bad_tree_flags_both_access_styles():
     findings = race_findings("bad")
     assert [(f.rule, Path(f.path).name, f.line) for f in findings] == [
+        ("SVT007", "glue.py", 12),      # serve: attribute store
+        ("SVT007", "glue.py", 16),      # serve: mutator call
         ("SVT007", "handler.py", 12),   # attribute store
         ("SVT007", "handler.py", 16),   # mutator call
     ]
 
 
 def test_messages_name_class_field_and_contexts():
-    store, mutator = race_findings("bad")
+    gate_store, gate_mutator, store, mutator = race_findings("bad")
     assert "Vmcs.loaded" in store.message
     assert "device" in store.message and "hypervisor" in store.message
     assert "CommandRing.reset" in mutator.message
+    assert "AdmissionGate.high_water" in gate_store.message
+    assert ("serve-client" in gate_store.message
+            and "serve-worker" in gate_store.message)
+    assert "AdmissionGate.clear" in gate_mutator.message
 
 
 def test_ok_tree_is_quiet():

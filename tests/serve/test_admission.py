@@ -1,0 +1,47 @@
+"""AdmissionQueue: bounded try_push, backpressure counters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import AdmissionQueue
+
+
+def test_capacity_is_validated():
+    with pytest.raises(ConfigError):
+        AdmissionQueue(capacity=0)
+
+
+def test_claims_up_to_capacity_then_rejects():
+    gate = AdmissionQueue(capacity=2)
+    assert gate.try_push() and gate.try_push()
+    assert not gate.try_push()
+    snap = gate.snapshot()
+    assert snap["depth"] == 2
+    assert snap["admitted"] == 2
+    assert snap["rejected"] == 1
+    assert snap["high_water"] == 2
+
+
+def test_release_reopens_the_gate():
+    gate = AdmissionQueue(capacity=1)
+    assert gate.try_push()
+    assert not gate.try_push()
+    gate.release()
+    assert gate.try_push()
+
+
+def test_release_without_admit_raises():
+    gate = AdmissionQueue(capacity=1)
+    with pytest.raises(ConfigError):
+        gate.release()
+
+
+def test_reject_streak_counts_consecutive_rejections():
+    gate = AdmissionQueue(capacity=1)
+    gate.try_push()
+    assert not gate.try_push()
+    assert not gate.try_push()
+    assert gate.reject_streak == 2
+    gate.release()
+    gate.try_push()              # any admit resets the streak
+    assert gate.reject_streak == 0

@@ -1,0 +1,61 @@
+"""Coalescer: one leader per fingerprint, joiners share the future."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_first_arrival_leads_later_ones_join():
+    async def scenario():
+        board = Coalescer()
+        loop = asyncio.get_running_loop()
+        future, leader = board.join_or_lead("fp", loop)
+        assert leader
+        same, joined = board.join_or_lead("fp", loop)
+        assert not joined
+        assert same is future
+        board.resolve_key("fp", "body")
+        assert await same == "body"
+        assert board.inflight == 0
+        assert board.snapshot() == {"inflight": 0, "leads": 1,
+                                    "hits": 1}
+    run(scenario())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def scenario():
+        board = Coalescer()
+        loop = asyncio.get_running_loop()
+        _, first = board.join_or_lead("fp-a", loop)
+        _, second = board.join_or_lead("fp-b", loop)
+        assert first and second
+        assert board.inflight == 2
+        board.resolve_key("fp-a", 1)
+        board.resolve_key("fp-b", 2)
+    run(scenario())
+
+
+def test_abandon_fails_the_joiners():
+    async def scenario():
+        board = Coalescer()
+        loop = asyncio.get_running_loop()
+        board.join_or_lead("fp", loop)
+        future, _ = board.join_or_lead("fp", loop)
+        board.abandon("fp", RuntimeError("leader died"))
+        with pytest.raises(RuntimeError):
+            await future
+    run(scenario())
+
+
+def test_resolve_of_unknown_key_is_a_no_op():
+    async def scenario():
+        board = Coalescer()
+        board.resolve_key("never-led", "x")
+        board.abandon("never-led", RuntimeError("x"))
+    run(scenario())
