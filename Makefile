@@ -15,8 +15,8 @@ smoke:
 	$(PYTHON) -m repro all --json --jobs 4 > /dev/null
 
 # Wall-clock perf harness (docs/performance.md): times every registered
-# experiment under the segment and legacy kernels at smoke AND full
-# parameters and rewrites the committed BENCH_sim.json baseline.
+# experiment under the segment, batch and legacy kernels at smoke AND
+# full parameters and rewrites the committed BENCH_sim.json baseline.
 bench:
 	$(PYTHON) -m repro bench --repeats 3
 

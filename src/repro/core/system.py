@@ -227,15 +227,16 @@ class Machine:
         span = (self.obs.span("run_program", level=level,
                               mode=str(self.mode))
                 if self.obs is not None else nullcontext())
-        # The segment kernel batches charges, which would coarsen
+        # The segment/batch kernels batch charges, which would coarsen
         # per-instruction observability (span streams, kept trace
         # events); those paths keep the instruction-exact legacy loop.
-        # Tiny programs also step: compiling them costs more than the
-        # batched replay saves (segments.COMPILE_MIN_INSTRUCTIONS),
+        # Programs with few batchable instructions also step: compiling
+        # them costs more than the batched replay saves
+        # (segments.COMPILE_MIN_INSTRUCTIONS counts ALU/PAUSE work),
         # and both paths are byte-identical by contract either way.
-        fast = (self.kernel == simkernel.SEGMENT and self.obs is None
+        fast = (self.kernel != simkernel.LEGACY and self.obs is None
                 and not self.tracer.keep_events
-                and (len(program.instructions) * program.repeat
+                and (segments.batchable_dynamic(program)
                      >= segments.COMPILE_MIN_INSTRUCTIONS))
         with span:
             if fast:
@@ -295,9 +296,7 @@ class Machine:
         index = 0
         retired = 0
         while passes:
-            if self._deferred:
-                self.service_io()
-            self._take_pending_interrupts(level)
+            self._segment_boundary(level)
             remaining = suffix[index] + total * (passes - 1)
             if remaining == 0:
                 # Zero-cost tail: time cannot pass, so no event can
@@ -321,6 +320,16 @@ class Machine:
                 index = 0
                 passes -= 1
         self.instructions_retired += retired
+
+    def _segment_boundary(self, level):
+        """The checks a segment boundary owes the legacy loop: drain
+        deferred I/O, then take any pending interrupts.  Shared by
+        :meth:`_replay_segment` and the batch replay tier
+        (:func:`repro.sim.batch.replay_cells`), so both kernels run the
+        identical boundary sequence in the identical order."""
+        if self._deferred:
+            self.service_io()
+        self._take_pending_interrupts(level)
 
     def run_instruction(self, instruction, level=2):
         """Execute one instruction at a level (exits included)."""

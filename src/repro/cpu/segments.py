@@ -44,20 +44,69 @@ from repro.cpu.isa import Op
 #: legacy footprint is the `work_ns` charge.
 BATCHABLE = frozenset({Op.ALU, Op.PAUSE})
 
-#: Smallest dynamic instruction count (``len(instructions) * repeat``)
-#: worth compiling.  Below it the compile/memo/fingerprint overhead
-#: exceeds what batching saves — the one-shot ablation drivers run
-#: ~10-instruction programs where the segment kernel used to *lose* to
-#: the legacy loop (BENCH_sim.json, ablation_hw_model 0.95x) — so
-#: :meth:`repro.core.system.Machine.run_program` steps tiny programs
-#: through the legacy loop, which is byte-identical by contract.
-COMPILE_MIN_INSTRUCTIONS = 64
+#: Smallest dynamic count of *batchable* instructions
+#: (:func:`batchable_dynamic`) worth compiling.  The original gate
+#: counted every instruction and sat at 64, which routed the 63-ALU
+#: ablation_hw_model program through the legacy loop and showed up as a
+#: 0.93x "speedup" in BENCH_sim.json.  Measured sweep (same program,
+#: forced compile vs legacy loop, min-of-400, this module's memo warm):
+#:
+#:   pure-ALU  dyn=4 0.90x | dyn=8 1.83x | dyn=63 5.94x | dyn=256 24x
+#:   all-CPUID dyn=4 0.98x | dyn=8 0.95x | dyn=16 0.88x (never wins)
+#:
+#: The crossover tracks the *batchable* population, not the program
+#: length: all-stepped programs only ever pay the memo-key build, so
+#: the gate now counts ``Op.ALU``/``Op.PAUSE`` instructions times the
+#: repeat and compiles from 8 up — past the measured break-even with
+#: margin for the cold-memo first call.
+COMPILE_MIN_INSTRUCTIONS = 8
 
 #: Memo bound; a full wipe on overflow keeps the policy trivially
 #: deterministic (no LRU ordering state).
 _MEMO_MAX = 256
 
 _memo = {}
+
+#: Memo traffic counters (satellite of docs/performance.md's batch
+#: section): a silent full wipe mid-sweep otherwise reads as an
+#: unexplained slowdown.  Plain module counters — the replay hot path
+#: never branches on them — surfaced by ``repro bench`` via
+#: :func:`memo_stats`.
+_memo_hits = 0
+_memo_misses = 0
+_memo_wipes = 0
+
+
+def memo_stats():
+    """Compile-memo traffic since process start or the last reset."""
+    return {
+        "hits": _memo_hits,
+        "misses": _memo_misses,
+        "wipes": _memo_wipes,
+        "entries": len(_memo),
+    }
+
+
+def reset_memo_stats():
+    """Zero the memo counters (bench sections reset between kernels)."""
+    global _memo_hits, _memo_misses, _memo_wipes
+    _memo_hits = _memo_misses = _memo_wipes = 0
+
+
+def batchable_dynamic(program):
+    """Dynamic count of segment-absorbable instructions in ``program``.
+
+    ``len(batchable statics) * repeat``, cached on the program object —
+    programs are immutable after construction, so the O(len) scan runs
+    once and the compile gate in ``Machine.run_program`` stays O(1) on
+    the re-run path.
+    """
+    count = getattr(program, "_batchable_static", None)
+    if count is None:
+        count = sum(1 for ins in program.instructions
+                    if ins.kind in BATCHABLE)
+        program._batchable_static = count
+    return count * program.repeat
 
 
 class Segment:
@@ -138,6 +187,16 @@ def _cost_fingerprint(costs):
     return fingerprint
 
 
+def cost_fingerprint(costs):
+    """Public, hashable fingerprint of a cost model's full contents.
+
+    Other memo layers (e.g. the service-time memo in
+    ``repro.workloads.memcached``) key on this so "same cost model" has
+    one definition across the codebase — and they inherit the identity
+    cache above instead of re-walking the dataclass."""
+    return _cost_fingerprint(costs)
+
+
 def _compile(instructions):
     nodes = []
     index = 0
@@ -166,6 +225,7 @@ def compile_program(program, mode, level, costs):
     deliberately *not* operand values, which only matter to stepped
     instructions and are read from the live program at replay time.
     """
+    global _memo_hits, _memo_misses, _memo_wipes
     key = (
         tuple((ins.kind, ins.work_ns) for ins in program.instructions),
         program.repeat,
@@ -175,8 +235,28 @@ def compile_program(program, mode, level, costs):
     )
     plan = _memo.get(key)
     if plan is None:
+        _memo_misses += 1
         if len(_memo) >= _MEMO_MAX:
             _memo.clear()
+            _memo_wipes += 1
         plan = _compile(program.instructions)
         _memo[key] = plan
+    else:
+        _memo_hits += 1
     return plan
+
+
+def structural_key(program, mode, level):
+    """Cheap structural fingerprint of a (program, mode, level) cell.
+
+    The batch scheduler (``repro.exp.runner``) groups cells that would
+    share this key onto one worker so the compile memo amortizes; it
+    deliberately omits the cost-model fingerprint (grouping is a
+    scheduling hint, never a correctness surface — the memo key proper
+    still includes it)."""
+    return (
+        tuple((ins.kind, ins.work_ns) for ins in program.instructions),
+        program.repeat,
+        str(mode),
+        level,
+    )

@@ -53,6 +53,19 @@ class DeterministicRng:
         """
         return self._random.random
 
+    def getstate(self):
+        """The underlying generator state (MT19937 key + position).
+
+        The batch kernel (``repro.sim.batch``) transfers this state
+        into its compiled replay and pushes the advanced state back
+        through :meth:`setstate`, so a native replay leaves the stream
+        exactly where the equivalent Python draws would have.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state):
+        self._random.setstate(state)
+
     def shuffle(self, seq):
         self._random.shuffle(seq)
 

@@ -105,10 +105,40 @@ def _serve_one(machine, net, cfg, is_get, op_index):
     return machine.sim.now - started
 
 
+#: Service-time memo (the "compile once per sweep" stage for this
+#: workload): ``measure_service`` is a pure function of its inputs —
+#: it builds a private Machine, drives a fixed request script through
+#: it, and returns two means — so one measurement per
+#: (mode, config, samples, cost model) serves a whole sweep.  Bypassed
+#: whenever an observer is ambient or the ordering sanitizer is armed:
+#: those want the *events*, not just the result.  Bounded with a full
+#: wipe, like the segment memo.
+_SERVICE_MEMO_MAX = 64
+_service_memo = {}
+
+
+def reset_service_memo():
+    """Drop memoized service-time measurements (bench sections isolate
+    kernel timings behind this)."""
+    _service_memo.clear()
+
+
 def measure_service(mode=ExecutionMode.BASELINE, config=None, samples=18,
                     costs=None):
     """Mean service time (ns) for GET and SET in a mode."""
+    from repro.cpu import costmodels, segments
+    from repro.obs.observer import ambient as obs_ambient
+    from repro.sim import sanitizer
+
     cfg = config or EtcConfig()
+    memoizable = obs_ambient() is None and not sanitizer.enabled()
+    key = None
+    if memoizable:
+        key = (str(mode), cfg, samples,
+               segments.cost_fingerprint(costmodels.resolve(costs)))
+        cached = _service_memo.get(key)
+        if cached is not None:
+            return cached
     machine = Machine(mode=mode, costs=costs)
     net = install_network(machine)
     # Under sustained load, TX completions are coalesced (event index).
@@ -120,7 +150,12 @@ def measure_service(mode=ExecutionMode.BASELINE, config=None, samples=18,
     for i in range(samples):
         get_ns.append(_serve_one(machine, net, cfg, True, i + 1))
         set_ns.append(_serve_one(machine, net, cfg, False, i + 7))
-    return sum(get_ns) / len(get_ns), sum(set_ns) / len(set_ns)
+    outcome = (sum(get_ns) / len(get_ns), sum(set_ns) / len(set_ns))
+    if memoizable:
+        if len(_service_memo) >= _SERVICE_MEMO_MAX:
+            _service_memo.clear()
+        _service_memo[key] = outcome
+    return outcome
 
 
 def _queueing_run(get_ns, set_ns, offered_kqps, cfg, rng, requests=30_000):
@@ -128,13 +163,26 @@ def _queueing_run(get_ns, set_ns, offered_kqps, cfg, rng, requests=30_000):
 
     Dispatches to the compiled request-segment replay under the
     ``segment`` kernel (docs/performance.md) whenever the workload shape
-    allows it; the reference loop stays the semantic definition and the
-    ``legacy`` kernel's path.  Both are bit-for-bit identical.
+    allows it, and under the ``batch`` kernel additionally tries the
+    native compile-once replay (``repro.sim.batch``); the reference
+    loop stays the semantic definition and the ``legacy`` kernel's
+    path.  All paths are bit-for-bit identical.
     """
-    if (simkernel.active_kernel() == simkernel.SEGMENT
-            and cfg.servers == 2 and cfg.key_space > 1
-            and cfg.service_jitter_sigma > 0
-            and get_ns > 0 and set_ns > 0):
+    kernel = simkernel.active_kernel()
+    compiled_shape = (cfg.servers == 2 and cfg.key_space > 1
+                      and cfg.service_jitter_sigma > 0
+                      and get_ns > 0 and set_ns > 0)
+    if kernel == simkernel.BATCH and compiled_shape:
+        outcome = _queueing_run_batch(get_ns, set_ns, offered_kqps,
+                                      cfg, rng, requests)
+        if outcome is not None:
+            return outcome
+        # Native tier unavailable (no compiler / self-check failed):
+        # the batch kernel degrades to the segment fast path, which is
+        # bit-identical, so the kernel never loses to segment.
+        return _queueing_run_fast(get_ns, set_ns, offered_kqps, cfg,
+                                  rng, requests)
+    if kernel != simkernel.LEGACY and compiled_shape:
         return _queueing_run_fast(get_ns, set_ns, offered_kqps, cfg,
                                   rng, requests)
     return _queueing_run_reference(get_ns, set_ns, offered_kqps, cfg,
@@ -227,6 +275,35 @@ def _queueing_run_fast(get_ns, set_ns, offered_kqps, cfg, rng,
             append(server1 - clock)
     avg = sum(sojourns) / len(sojourns) / 1000.0
     return avg, percentile(sojourns, 99) / 1000.0
+
+
+def _queueing_run_batch(get_ns, set_ns, offered_kqps, cfg, rng,
+                        requests=30_000):
+    """Batch-kernel replay: the whole load point in one native call.
+
+    The per-request segment is identical to :func:`_queueing_run_fast`;
+    what changes is *where* it runs — a compile-once C kernel
+    (``repro.sim.batch.queue_replay``) that draws from the transferred
+    MT19937 state and hands back the sojourn total (left-folded in
+    generation order, like ``sum``) plus the p99 sojourn (the exact
+    two order statistics ``stats.percentile`` would interpolate,
+    selected in O(n)).  Returns ``None`` when the native tier is
+    unavailable, in which case the caller falls back to the fast path.
+    """
+    from repro.sim import batch
+
+    lambd = 1.0 / (1e6 / offered_kqps)
+    half_var = cfg.service_jitter_sigma * cfg.service_jitter_sigma / 2.0
+    outcome = batch.queue_replay(
+        rng, requests, lambd, cfg.get_fraction,
+        cfg.service_jitter_sigma,
+        math.log(get_ns) - half_var, math.log(set_ns) - half_var,
+        _NV_MAGICCONST, pct=99,
+    )
+    if outcome is None:
+        return None
+    total, p99 = outcome
+    return total / requests / 1000.0, p99 / 1000.0
 
 
 def run(mode=ExecutionMode.BASELINE, config=None, loads_kqps=None, seed=42,

@@ -1,11 +1,12 @@
-"""Kernel differential: segment and legacy produce identical Results.
+"""Kernel differential: all three kernels produce identical Results.
 
 The fast-path contract (docs/performance.md) is byte-identity, not
 approximate equality: every registered experiment must serialize to
-exactly the same Result document under the segment-compiled kernel and
-the legacy per-instruction kernel, at any ``--jobs`` count.  Smoke
-parameters keep the battery fast while still driving every workload
-through its real machine and queueing paths.
+exactly the same Result document under the segment-compiled kernel,
+the sweep-level batch kernel and the legacy per-instruction kernel, at
+any ``--jobs`` count.  Smoke parameters keep the battery fast while
+still driving every workload through its real machine and queueing
+paths.
 """
 
 import pytest
@@ -13,6 +14,7 @@ import pytest
 from repro.exp import registry
 from repro.exp.runner import run_experiments
 from repro.sim import kernel as simkernel
+from repro.workloads import memcached
 
 
 def _names():
@@ -21,6 +23,7 @@ def _names():
 
 
 def _result_json(name, kernel, jobs=1):
+    memcached.reset_service_memo()
     with simkernel.use_kernel(kernel):
         report = run_experiments([name], jobs=jobs, cache=None,
                                  smoke=True)
@@ -31,7 +34,9 @@ def _result_json(name, kernel, jobs=1):
 def test_experiment_is_kernel_invariant(name):
     legacy = _result_json(name, simkernel.LEGACY)
     segment = _result_json(name, simkernel.SEGMENT)
+    batch = _result_json(name, simkernel.BATCH)
     assert segment == legacy
+    assert batch == legacy
 
 
 @pytest.mark.parametrize("name", ["fig8", "fig9", "table1"])
@@ -39,4 +44,15 @@ def test_kernel_invariance_survives_parallel_fanout(name):
     """Workers inherit the kernel through the environment."""
     serial_legacy = _result_json(name, simkernel.LEGACY, jobs=1)
     pooled_segment = _result_json(name, simkernel.SEGMENT, jobs=2)
+    pooled_batch = _result_json(name, simkernel.BATCH, jobs=2)
     assert pooled_segment == serial_legacy
+    assert pooled_batch == serial_legacy
+
+
+@pytest.mark.parametrize("name", ["fig8", "fig9"])
+def test_batch_grouped_scheduling_is_order_invariant(name):
+    """The batch kernel's grouped pool submission (one structural
+    group per worker) must not change a byte versus serial."""
+    serial = _result_json(name, simkernel.BATCH, jobs=1)
+    pooled = _result_json(name, simkernel.BATCH, jobs=3)
+    assert pooled == serial

@@ -1,0 +1,9 @@
+"""Fixture: the device-context caller that makes the replay helpers
+multi-context reachable."""
+
+from repro.workloads.replay import mark_block, skip_block
+
+
+def on_complete(block):
+    mark_block(block)
+    skip_block(block)

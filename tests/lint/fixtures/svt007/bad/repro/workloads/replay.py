@@ -1,0 +1,16 @@
+"""Fixture: batch replay-block accesses reachable from two contexts
+with no ordering call on the path.
+
+``mark_block`` / ``skip_block`` live under ``repro.workloads`` (the
+*guest* context root) and are also called from ``repro.io.drain``
+(the *device* root) — and neither charges sim time nor routes
+through a switch/channel API, so both accesses must flag SVT007.
+"""
+
+
+def mark_block(block):
+    block.clock = block.clock + 8           # SVT007: attribute store
+
+
+def skip_block(block):
+    block.skip()                            # SVT007: mutator call

@@ -1,0 +1,9 @@
+"""Fixture: the device-context caller (both block paths are
+ordered)."""
+
+from repro.workloads.replay import mark_block, parked
+
+
+def on_complete(sim, block):
+    mark_block(sim, block)
+    parked(sim, block)

@@ -1,0 +1,13 @@
+"""Fixture shared-state class: a stand-in flat replay block (module
+matches ``SHARED_MODULES``)."""
+
+
+class CellBlock:
+
+    def __init__(self, cells):
+        self.cells = cells
+        self.cursor = 0
+        self.clock = 0
+
+    def skip(self):
+        self.cursor += 1

@@ -1,0 +1,22 @@
+"""Fixture: the same multi-context-reachable block accesses, each
+ordered the sanctioned way — so SVT007 must stay quiet.
+
+``mark_block`` charges sim time before writing (holds the "lock");
+``skip_block`` is only ever called from inside a charged window
+(``parked`` charges, then calls it), so it inherits protection
+caller-transitively.
+"""
+
+
+def mark_block(sim, block):
+    sim.charge(3)                           # ordering call in the body
+    block.clock = block.clock + 8
+
+
+def skip_block(block):
+    block.skip()
+
+
+def parked(sim, block):
+    sim.charge(2)
+    skip_block(block)

@@ -1,0 +1,253 @@
+"""The batch kernel's two replay tiers hold the byte-identity bar.
+
+* ``queue_replay`` (native tier): bit-identical totals, percentiles
+  and final rng state versus the pure-Python inner loop, and a clean
+  fallback when the tier is disabled.
+* ``replay_cells`` (flat cell replay): every machine ends in exactly
+  the state its own ``run_program`` call would have produced — the
+  hypothesis property below mixes eligible cells with cells that hit
+  interrupt, event and stepped-instruction boundaries mid-span.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.system import Machine
+from repro.cpu import isa
+from repro.sim import batch
+from repro.sim import kernel as simkernel
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import percentile
+
+# -- native tier -----------------------------------------------------------
+
+
+def test_native_kernel_builds_and_passes_self_check():
+    """The container/CI image has a C compiler; the tier must come up
+    (if this fails, the batch kernel silently degrades to segment
+    speed and the bench floors catch it much more expensively)."""
+    batch.reset_native_probe()
+    try:
+        assert batch.native_kernel() is not None
+    finally:
+        batch.reset_native_probe()
+
+
+def test_native_env_gate_forces_fallback(monkeypatch):
+    monkeypatch.setenv(batch.NATIVE_ENV_VAR, "0")
+    batch.reset_native_probe()
+    try:
+        assert batch.native_kernel() is None
+        rng = DeterministicRng(7)
+        assert batch.queue_replay(rng, 100, 0.001, 0.97, 0.22,
+                                  10.0, 10.5, 1.7155277699214135) is None
+    finally:
+        batch.reset_native_probe()
+
+
+def _mirror_params():
+    sigma = 0.22
+    return dict(
+        lambd=1.0 / (1e6 / 12.5), p_get=0.97, sigma=sigma,
+        mu_get=math.log(30000.0) - sigma * sigma / 2.0,
+        mu_set=math.log(52000.0) - sigma * sigma / 2.0,
+        nv_magic=4 * math.exp(-0.5) / math.sqrt(2.0),
+    )
+
+
+@pytest.mark.parametrize("requests", [1, 2, 100, 3000])
+def test_queue_replay_matches_python_mirror_bitwise(requests):
+    if batch.native_kernel() is None:
+        pytest.skip("no native tier on this platform")
+    params = _mirror_params()
+    rng = DeterministicRng(20190613)
+    seed_state = rng.getstate()[1]
+    outcome = batch.queue_replay(rng, requests, pct=99, **params)
+    assert outcome is not None
+    total, p99 = outcome
+    ref_total, ref_sorted, ref_state = batch._python_mirror(
+        seed_state, requests, params["lambd"], params["p_get"],
+        params["sigma"], params["mu_get"], params["mu_set"],
+        params["nv_magic"])
+    assert total == ref_total
+    assert p99 == percentile(list(ref_sorted), 99)
+    # The rng is left exactly where the Python draws would have put it.
+    assert rng.getstate()[1] == tuple(ref_state)
+
+
+def test_queue_replay_state_resumes_python_stream():
+    """Draws after a native replay continue the stream bit-for-bit."""
+    if batch.native_kernel() is None:
+        pytest.skip("no native tier on this platform")
+    params = _mirror_params()
+    native = DeterministicRng(99)
+    pure = DeterministicRng(99)
+    batch.queue_replay(native, 500, **params)
+    # Drive the pure rng through the same draws by replaying manually.
+    stream = pure.raw_stream()
+    clock = 0.0
+    for _ in range(500):
+        clock += -math.log(1.0 - stream()) / params["lambd"]
+        stream()
+        stream()
+        while True:
+            u1 = stream()
+            u2 = 1.0 - stream()
+            z = params["nv_magic"] * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -math.log(u2):
+                break
+    assert [native.random() for _ in range(16)] \
+        == [pure.random() for _ in range(16)]
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e9), min_size=1,
+                max_size=200),
+       st.integers(min_value=0, max_value=100))
+def test_percentile_sorted_matches_stats(values, pct):
+    ordered = sorted(values)
+    assert batch.percentile_sorted(ordered, pct) \
+        == percentile(values, pct)
+
+
+# -- flat cell replay ------------------------------------------------------
+
+
+ALU_PROGRAM = isa.Program([isa.alu(40), isa.alu(25), isa.alu(10)],
+                          repeat=8)
+STEPPED_PROGRAM = isa.Program([isa.alu(40), isa.cpuid(), isa.alu(25)],
+                              repeat=8)
+TINY_PROGRAM = isa.Program([isa.alu(5)], repeat=2)
+
+
+def _machine_fingerprint(machine):
+    return (
+        machine.sim.now,
+        machine.instructions_retired,
+        dict(machine.stack.exit_counts),
+        dict(machine.stack.aux_exit_counts),
+        machine.tracer.snapshot(),
+        machine.sim.events_fired,
+    )
+
+
+def _run_result_fingerprint(result):
+    return (result.elapsed_ns, result.instructions, result.exits,
+            result.start_ns, result.end_ns)
+
+
+def _assert_replay_matches(make_cells):
+    """replay_cells == independent run_program, machine state and
+    RunResults both, on two identically-constructed cell sets."""
+    with simkernel.use_kernel(simkernel.BATCH):
+        batch_cells = make_cells()
+        ref_cells = make_cells()
+        batched = batch.replay_cells(batch_cells)
+        reference = [machine.run_program(program)
+                     for machine, program in ref_cells]
+    assert [_run_result_fingerprint(r) for r in batched] \
+        == [_run_result_fingerprint(r) for r in reference]
+    assert [_machine_fingerprint(m) for m, _ in batch_cells] \
+        == [_machine_fingerprint(m) for m, _ in ref_cells]
+
+
+def test_replay_cells_eligible_only():
+    _assert_replay_matches(
+        lambda: [(Machine(), ALU_PROGRAM) for _ in range(5)])
+
+
+def test_replay_cells_mixed_eligibility():
+    def make():
+        return [(Machine(), program)
+                for program in (ALU_PROGRAM, STEPPED_PROGRAM,
+                                TINY_PROGRAM, ALU_PROGRAM)]
+    _assert_replay_matches(make)
+
+
+def test_replay_cells_event_inside_span_falls_back():
+    def make():
+        cells = []
+        for offset in (10, 100_000_000):
+            machine = Machine()
+            machine.sim.after(offset, lambda: None)
+            cells.append((machine, ALU_PROGRAM))
+        return cells
+    _assert_replay_matches(make)
+
+
+def test_replay_cells_pending_interrupt_falls_back():
+    def make():
+        machine = Machine()
+        machine.stack.inject_irq_into_l2(0x41)
+        return [(machine, ALU_PROGRAM), (Machine(), ALU_PROGRAM)]
+    _assert_replay_matches(make)
+
+
+def test_replay_cells_respects_legacy_kernel():
+    with simkernel.use_kernel(simkernel.LEGACY):
+        machine = Machine()
+        twin = Machine()
+        batch.replay_cells([(machine, ALU_PROGRAM)])
+        twin.run_program(ALU_PROGRAM)
+        assert _machine_fingerprint(machine) \
+            == _machine_fingerprint(twin)
+
+
+def test_replay_cells_counts_occupancy():
+    batch.reset_batch_stats()
+    with simkernel.use_kernel(simkernel.BATCH):
+        batch.replay_cells([(Machine(), ALU_PROGRAM),
+                            (Machine(), STEPPED_PROGRAM)])
+    stats = batch.batch_stats()
+    assert stats["cells_batched"] == 1
+    assert stats["cells_fallback"] == 1
+    assert stats["heap_elisions"] >= 0
+
+
+# -- satellite 3: the hypothesis property ----------------------------------
+
+
+_KINDS = st.sampled_from(["alu", "pause", "cpuid", "wrmsr"])
+
+
+def _build_instruction(kind, work):
+    if kind == "alu":
+        return isa.alu(work)
+    if kind == "pause":
+        return isa.Instruction(isa.Op.PAUSE, work_ns=work)
+    if kind == "cpuid":
+        return isa.cpuid()
+    return isa.wrmsr(0x6E0, 123)
+
+
+_cell_strategy = st.tuples(
+    st.lists(st.tuples(_KINDS, st.integers(min_value=1, max_value=200)),
+             min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=12),      # repeat
+    st.sampled_from([None, 15, 400, 10**9]),     # pending event offset
+    st.booleans(),                               # pending interrupt
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_cell_strategy, min_size=1, max_size=6))
+def test_batch_replay_is_identical_to_independent_runs(cell_specs):
+    """Satellite acceptance: batch replay of N cells is state- and
+    clock-identical to N independent segment-kernel runs, including
+    cells that hit interrupt/event boundaries mid-segment."""
+    def make():
+        cells = []
+        for body, repeat, event_offset, pending_irq in cell_specs:
+            program = isa.Program(
+                [_build_instruction(kind, work) for kind, work in body],
+                repeat=repeat)
+            machine = Machine()
+            if event_offset is not None:
+                machine.sim.after(event_offset, lambda: None)
+            if pending_irq:
+                machine.stack.inject_irq_into_l2(0x51)
+            cells.append((machine, program))
+        return cells
+
+    _assert_replay_matches(make)

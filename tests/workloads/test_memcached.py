@@ -106,3 +106,77 @@ def test_queueing_dispatch_falls_back_on_unsupported_shapes():
     reference = memcached._queueing_run_reference(
         2600.0, 5800.0, 10.0, odd, DeterministicRng(7), requests=3_000)
     assert dispatched == reference
+
+
+def test_batch_queueing_is_bit_identical_to_reference():
+    """The native compile-once replay reproduces the reference loop
+    bit-for-bit, rng end position included."""
+    import pytest as _pytest
+
+    from repro.sim import batch
+    from repro.sim.rng import DeterministicRng
+
+    if batch.native_kernel() is None:
+        _pytest.skip("no native tier on this platform")
+    cfg = memcached.EtcConfig()
+    for seed in (1, 42):
+        for load in (5.0, 22.5):
+            ref_rng = DeterministicRng(seed).fork(f"b:{load}")
+            bat_rng = DeterministicRng(seed).fork(f"b:{load}")
+            reference = memcached._queueing_run_reference(
+                2600.0, 5800.0, load, cfg, ref_rng, requests=6_000)
+            batched = memcached._queueing_run_batch(
+                2600.0, 5800.0, load, cfg, bat_rng, requests=6_000)
+            assert batched == reference
+            # The rng must sit exactly where the reference loop left
+            # it — the property that makes mid-sweep kernel changes
+            # undetectable in any downstream draw.
+            assert bat_rng.getstate() == ref_rng.getstate()
+
+
+def test_batch_dispatch_degrades_to_fast_path_without_native_tier(
+        monkeypatch):
+    """REPRO_SIM_KERNEL=batch without a native tier must equal the
+    segment fast path (and therefore the reference), not fail."""
+    from repro.sim import batch
+    from repro.sim import kernel as simkernel
+    from repro.sim.rng import DeterministicRng
+
+    monkeypatch.setenv(batch.NATIVE_ENV_VAR, "0")
+    batch.reset_native_probe()
+    try:
+        with simkernel.use_kernel(simkernel.BATCH):
+            dispatched = memcached._queueing_run(
+                2600.0, 5800.0, 12.5, memcached.EtcConfig(),
+                DeterministicRng(11), requests=3_000)
+    finally:
+        batch.reset_native_probe()
+    reference = memcached._queueing_run_reference(
+        2600.0, 5800.0, 12.5, memcached.EtcConfig(),
+        DeterministicRng(11), requests=3_000)
+    assert dispatched == reference
+
+
+def test_service_memo_reuses_measurements_and_stays_exact():
+    """One measurement per (mode, config, samples, costs) serves the
+    sweep; a memo hit returns the identical values."""
+    memcached.reset_service_memo()
+    first = memcached.measure_service(ExecutionMode.BASELINE)
+    assert len(memcached._service_memo) == 1
+    second = memcached.measure_service(ExecutionMode.BASELINE)
+    assert second == first
+    assert len(memcached._service_memo) == 1
+    memcached.reset_service_memo()
+    remeasured = memcached.measure_service(ExecutionMode.BASELINE)
+    assert remeasured == first
+
+
+def test_service_memo_bypassed_under_observation():
+    """Observers want the machine events, not a cached pair."""
+    from repro.obs.observer import capture_metrics
+
+    memcached.reset_service_memo()
+    with capture_metrics():
+        memcached.measure_service(ExecutionMode.BASELINE)
+    assert len(memcached._service_memo) == 0
+    memcached.reset_service_memo()
